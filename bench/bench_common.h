@@ -1,0 +1,127 @@
+// Shared scaffolding for the figure benches: builds engine instances, runs
+// the client harness, prints aligned result rows. Every bench binary prints
+// the rows/series of one paper table or figure (see DESIGN.md §3).
+//
+// Scale knobs (env): SNAPPER_EPOCH_SECONDS, SNAPPER_NUM_EPOCHS,
+// SNAPPER_WARMUP_EPOCHS, SNAPPER_CORES (comma list for Fig. 17).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/paper_config.h"
+#include "workloads/smallbank.h"
+#include "workloads/smallbank_logic.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpcc_logic.h"
+
+namespace snapper::bench {
+
+using harness::BenchResult;
+using harness::ClientConfig;
+using harness::Distribution;
+using harness::GeneratorFn;
+using harness::MakeSmallBankGenerator;
+using harness::MakeTpccGenerator;
+using harness::RunBench;
+using harness::SmallBankWorkloadConfig;
+using harness::SubmitFn;
+using harness::TpccWorkloadConfig;
+
+/// WAL device latency applied to every Sync by the bench MemEnvs: simulates
+/// the paper's io2 SSD (default 100us; override SNAPPER_SYNC_LATENCY_US).
+inline std::unique_ptr<MemEnv> MakeBenchEnv() {
+  auto env = std::make_unique<MemEnv>();
+  env->set_sync_latency(std::chrono::microseconds(
+      harness::EnvInt("SNAPPER_SYNC_LATENCY_US", 100)));
+  return env;
+}
+
+/// A Snapper silo with SmallBank registered.
+struct SnapperBankSilo {
+  std::unique_ptr<MemEnv> env = MakeBenchEnv();
+  std::unique_ptr<SnapperRuntime> runtime;
+  uint32_t actor_type = 0;
+
+  explicit SnapperBankSilo(SnapperConfig config) {
+    runtime = std::make_unique<SnapperRuntime>(config, env.get());
+    actor_type = smallbank::RegisterSmallBank(*runtime);
+    runtime->Start();
+  }
+  ~SnapperBankSilo() { runtime.reset(); }  // runtime drains before env dies
+};
+
+/// An OrleansTxn silo with SmallBank registered.
+struct OtxnBankSilo {
+  std::unique_ptr<MemEnv> env = MakeBenchEnv();
+  std::unique_ptr<otxn::OtxnRuntime> runtime;
+  uint32_t actor_type = 0;
+
+  explicit OtxnBankSilo(otxn::OtxnConfig config) {
+    runtime = std::make_unique<otxn::OtxnRuntime>(config, env.get());
+    actor_type = runtime->RegisterActorType("SmallBank", [](uint64_t) {
+      return std::make_shared<smallbank::SmallBankLogic<otxn::OtxnActor>>();
+    });
+  }
+  ~OtxnBankSilo() { runtime.reset(); }
+};
+
+/// A Snapper silo with TPC-C registered.
+struct SnapperTpccSilo {
+  std::unique_ptr<MemEnv> env = MakeBenchEnv();
+  std::unique_ptr<SnapperRuntime> runtime;
+  tpcc::TpccTypes types;
+
+  explicit SnapperTpccSilo(SnapperConfig config) {
+    runtime = std::make_unique<SnapperRuntime>(config, env.get());
+    types = tpcc::RegisterTpcc(*runtime);
+    runtime->Start();
+  }
+  ~SnapperTpccSilo() { runtime.reset(); }
+};
+
+inline ClientConfig BenchClientConfig(TxnMode mode, bool skewed,
+                                      size_t pipeline_override = 0) {
+  ClientConfig config = harness::DefaultClientConfig(mode, skewed);
+  if (pipeline_override != 0) config.pipeline = pipeline_override;
+  return config;
+}
+
+/// Core counts for the scalability benches: SNAPPER_CORES env ("4,8,16,32")
+/// or a laptop-safe default. The host here is documented in EXPERIMENTS.md.
+inline std::vector<size_t> BenchCoreCounts() {
+  const char* env = std::getenv("SNAPPER_CORES");
+  std::vector<size_t> cores;
+  if (env != nullptr) {
+    size_t value = 0;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + static_cast<size_t>(*p - '0');
+      } else {
+        if (value > 0) cores.push_back(value);
+        value = 0;
+        if (*p == '\0') break;
+      }
+    }
+  }
+  if (cores.empty()) cores = {1, 2, 4};
+  return cores;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, const BenchResult& r) {
+  std::printf("%-34s tps=%9.0f  abort=%5.1f%%  p50=%7.1fms  p90=%7.1fms  "
+              "p99=%7.1fms\n",
+              label.c_str(), r.Throughput(), r.AbortRate() * 100,
+              r.totals.latency.Quantile(0.5) / 1000.0,
+              r.totals.latency.Quantile(0.9) / 1000.0,
+              r.totals.latency.Quantile(0.99) / 1000.0);
+  std::fflush(stdout);
+}
+
+}  // namespace snapper::bench

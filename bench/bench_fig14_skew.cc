@@ -1,0 +1,66 @@
+// Fig. 14 — Throughput vs workload skewness: PACT, ACT, OrleansTxn and
+// OrleansTxn on a deadlock-free workload, across the five zipf skew levels
+// (txnsize 4, CC + logging).
+//
+// Expected shape (paper): ACT and OrleansTxn throughput falls with skew
+// (contention); OrleansTxn below ACT (TA hops, ELR cascades), deadlock-free
+// OrleansTxn above regular OrleansTxn; PACT *rises* with skew (batching
+// amortizes better), reaching ~2x ACT under high skew.
+#include "bench_common.h"
+
+int main() {
+  using namespace snapper;
+  using namespace snapper::bench;
+
+  const uint64_t kActors = 10000;
+  PrintHeader("Fig. 14: throughput vs skew (txnsize 4, CC+log)");
+
+  for (const auto& level : harness::kSkewLevels) {
+    const bool skewed = level.zipf_s >= 1.0;
+
+    SmallBankWorkloadConfig workload;
+    workload.num_actors = kActors;
+    workload.txn_size = 4;
+    workload.distribution = level.distribution;
+    workload.zipf_s = level.zipf_s;
+
+    // PACT on Snapper.
+    {
+      SnapperBankSilo silo(harness::SnapperConfigForCores(4, true));
+      workload.actor_type = silo.actor_type;
+      workload.pact_fraction = 1.0;
+      workload.deadlock_free = false;
+      BenchResult r = RunBench(BenchClientConfig(TxnMode::kPact, skewed),
+                               MakeSmallBankGenerator(workload),
+                               harness::SnapperSubmit(*silo.runtime));
+      PrintRow(std::string(level.name) + " / PACT", r);
+    }
+    // ACT on Snapper.
+    {
+      SnapperBankSilo silo(harness::SnapperConfigForCores(4, true));
+      workload.actor_type = silo.actor_type;
+      workload.pact_fraction = 0.0;
+      workload.deadlock_free = false;
+      BenchResult r = RunBench(BenchClientConfig(TxnMode::kAct, skewed),
+                               MakeSmallBankGenerator(workload),
+                               harness::SnapperSubmit(*silo.runtime));
+      PrintRow(std::string(level.name) + " / ACT", r);
+    }
+    // OrleansTxn baseline.
+    for (bool deadlock_free : {false, true}) {
+      otxn::OtxnConfig config;
+      config.num_workers = 4;
+      OtxnBankSilo silo(config);
+      workload.actor_type = silo.actor_type;
+      workload.pact_fraction = 0.0;
+      workload.deadlock_free = deadlock_free;
+      BenchResult r = RunBench(BenchClientConfig(TxnMode::kAct, skewed),
+                               MakeSmallBankGenerator(workload),
+                               harness::OtxnSubmit(*silo.runtime));
+      PrintRow(std::string(level.name) +
+                   (deadlock_free ? " / OrleansTxn(dl-free)" : " / OrleansTxn"),
+               r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 17b — TPC-C scalability: PACT vs ACT NewOrder throughput as workers
+// grow (2 warehouses per 4 workers, Fig. 11a), under low skew (many order
+// partitions) and high skew (a single order partition per warehouse
+// serializes every district's inserts).
+//
+// Expected shape (paper): both modes scale near-linearly at low skew; PACT
+// beats ACT under high skew; both pay ~90% vs NT — the cost of logging whole
+// actor-state blobs for insert-heavy tables (§5.4.2).
+#include "bench_common.h"
+
+int main() {
+  using namespace snapper;
+  using namespace snapper::bench;
+
+  PrintHeader("Fig. 17b: TPC-C NewOrder scalability (CC+log)");
+
+  for (size_t cores : BenchCoreCounts()) {
+    const uint64_t warehouses = std::max<uint64_t>(1, (cores / 4) * 2 +
+                                                          (cores % 4 ? 1 : 0));
+    for (bool high_skew : {false, true}) {
+      for (TxnMode mode : {TxnMode::kPact, TxnMode::kAct, TxnMode::kNt}) {
+        SnapperTpccSilo silo(
+            harness::SnapperConfigForCores(cores, mode != TxnMode::kNt));
+        TpccWorkloadConfig workload;
+        workload.types = silo.types;
+        workload.layout.num_warehouses = warehouses;
+        workload.layout.order_partitions_per_warehouse =
+            high_skew ? 1 : workload.layout.districts_per_warehouse;
+        workload.pact_fraction = mode == TxnMode::kAct ? 0.0 : 1.0;
+        GeneratorFn generator = MakeTpccGenerator(workload);
+        if (mode == TxnMode::kNt) {
+          auto inner = generator;
+          generator = [inner](Rng& rng) {
+            auto request = inner(rng);
+            request.mode = TxnMode::kNt;
+            return request;
+          };
+        }
+        // TPC-C transactions are ~15-actor heavyweights: smaller pipelines
+        // than SmallBank's (Fig. 11b tunes pipelines per workload).
+        ClientConfig client = BenchClientConfig(
+            mode == TxnMode::kAct ? TxnMode::kAct : TxnMode::kPact, high_skew,
+            mode == TxnMode::kAct ? 4 : 16);
+        BenchResult r =
+            RunBench(client, generator, harness::SnapperSubmit(*silo.runtime));
+        char label[96];
+        std::snprintf(label, sizeof(label), "%zu cores / %s / %s", cores,
+                      high_skew ? "high-skew" : "low-skew",
+                      mode == TxnMode::kPact  ? "PACT"
+                      : mode == TxnMode::kAct ? "ACT"
+                                              : "NT");
+        PrintRow(label, r);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Prints the paper's experimental-setting tables: Fig. 11a (resource
+// scaling), Fig. 11b (pipeline sizes and skew levels) and Fig. 18 (TPC-C
+// actor layout). Not a measurement — a self-describing record of the
+// configuration every other bench uses.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace snapper;
+  using namespace snapper::bench;
+
+  PrintHeader("Fig. 11a: experimental settings (resources scale with cores)");
+  std::printf("%8s %16s %14s %10s\n", "cores", "smallbank actors",
+              "coordinators", "loggers");
+  for (size_t cores : {4u, 8u, 16u, 32u}) {
+    auto s = harness::ScaleForCores(cores);
+    std::printf("%8zu %16llu %14zu %10zu\n", s.cores,
+                static_cast<unsigned long long>(s.smallbank_actors),
+                s.coordinators, s.loggers);
+  }
+
+  PrintHeader("Fig. 11b: skew levels (zipf constants) and pipeline sizes");
+  std::printf("%10s %14s %8s\n", "skew", "distribution", "zipf_s");
+  for (const auto& level : harness::kSkewLevels) {
+    std::printf("%10s %14s %8.2f\n", level.name,
+                level.distribution == Distribution::kUniform ? "uniform"
+                                                             : "zipf",
+                level.zipf_s);
+  }
+  std::printf("pipeline: PACT=%zu  ACT(uniform)=%zu  ACT(skewed)=%zu\n",
+              harness::PipelineFor(TxnMode::kPact, false),
+              harness::PipelineFor(TxnMode::kAct, false),
+              harness::PipelineFor(TxnMode::kAct, true));
+
+  PrintHeader("Fig. 18: TPC-C actor layout (per warehouse)");
+  tpcc::TpccLayout layout;
+  std::printf("warehouse+district rows      : 1 actor (RW)\n");
+  std::printf("stock table partitions       : %d actors (RW)\n",
+              layout.stock_partitions_per_warehouse);
+  std::printf("item table partitions        : %d actors (read-only)\n",
+              layout.item_partitions_per_warehouse);
+  std::printf("customer table partitions    : %d actors (read-only)\n",
+              layout.customer_partitions_per_warehouse);
+  std::printf("order/new-order/order-line   : %d actors (RW; skew knob)\n",
+              layout.order_partitions_per_warehouse);
+  std::printf("order lines per NewOrder     : %d..%d (avg ~%d)\n",
+              layout.min_ol_cnt, layout.max_ol_cnt,
+              (layout.min_ol_cnt + layout.max_ol_cnt) / 2);
+  std::printf("remote-warehouse stock prob. : %.0f%%\n",
+              layout.remote_stock_probability * 100);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Durability walkthrough: run SmallBank transfers against a WAL, crash the
+// silo (all actor memory lost), and recover committed state from the log
+// (paper §4.2.4-§4.2.5). Uses the on-disk PosixEnv so you can inspect the
+// wal-*.log files afterwards.
+//
+//   ./examples/bank_recovery [wal_dir]
+#include <cstdio>
+
+#include "snapper/snapper_runtime.h"
+#include "workloads/smallbank.h"
+
+using namespace snapper;
+using smallbank::SmallBankActor;
+
+namespace {
+
+double Balance(SnapperRuntime& runtime, uint32_t type, uint64_t key) {
+  ActorId id{type, key};
+  return runtime.RunPact(id, "Balance", Value(), {{id, 1}}).value.AsDouble();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/snapper_bank_wal";
+  std::printf("WAL directory: %s\n", dir.c_str());
+
+  double before[3];
+  {
+    PosixEnv env(dir, /*fsync=*/true);
+    SnapperRuntime runtime(SnapperConfig{}, &env);
+    uint32_t type = smallbank::RegisterSmallBank(runtime);
+    runtime.Start();
+
+    for (int i = 0; i < 10; ++i) {
+      ActorId from{type, static_cast<uint64_t>(i % 3)};
+      std::vector<uint64_t> tos = {static_cast<uint64_t>((i + 1) % 3)};
+      TxnResult r = runtime.RunPact(
+          from, "MultiTransfer",
+          SmallBankActor::MultiTransferInput(100.0, tos),
+          SmallBankActor::MultiTransferAccessInfo(type, from.key, tos));
+      if (!r.ok()) std::printf("transfer %d: %s\n", i, r.status.ToString().c_str());
+    }
+    for (uint64_t k = 0; k < 3; ++k) before[k] = Balance(runtime, type, k);
+    std::printf("before crash: %.0f / %.0f / %.0f\n", before[0], before[1],
+                before[2]);
+    // Silo dies here: every actor's in-memory state is gone. Only the WAL
+    // in `dir` survives.
+  }
+
+  {
+    PosixEnv env(dir, /*fsync=*/true);
+    SnapperRuntime runtime(SnapperConfig{}, &env);
+    uint32_t type = smallbank::RegisterSmallBank(runtime);
+    auto recovery = runtime.Recover();
+    if (!recovery.ok()) {
+      std::printf("recovery failed: %s\n",
+                  recovery.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %zu actor states from %llu log records "
+                "(%llu committed batches, %llu committed ACTs)\n",
+                recovery.value().actor_states.size(),
+                static_cast<unsigned long long>(recovery.value().scanned_records),
+                static_cast<unsigned long long>(recovery.value().committed_batches),
+                static_cast<unsigned long long>(recovery.value().committed_acts));
+    runtime.Start();
+
+    bool all_match = true;
+    for (uint64_t k = 0; k < 3; ++k) {
+      const double after = Balance(runtime, type, k);
+      all_match = all_match && after == before[k];
+      std::printf("account %llu: %.0f (%s)\n",
+                  static_cast<unsigned long long>(k), after,
+                  after == before[k] ? "matches" : "MISMATCH");
+    }
+    // And the recovered silo keeps working.
+    TxnResult r = runtime.RunPact(
+        ActorId{type, 0}, "MultiTransfer",
+        SmallBankActor::MultiTransferInput(1.0, {1}),
+        SmallBankActor::MultiTransferAccessInfo(type, 0, {1}));
+    std::printf("post-recovery transfer: %s\n", r.status.ToString().c_str());
+    return all_match && r.ok() ? 0 : 1;
+  }
+}

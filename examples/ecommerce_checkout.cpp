@@ -1,0 +1,178 @@
+// E-commerce checkout — the paper's introductory motivating scenario (§1):
+// stock actors hold product inventory, order actors record purchases, and a
+// CheckoutOrder transaction "explicitly specifies a list of product IDs,
+// which targets a list of stock actors, each being accessed once" — the
+// textbook PACT. A concurrent restocking job runs alongside, and an
+// oversell is rejected transactionally.
+//
+//   ./examples/ecommerce_checkout
+#include <cstdio>
+#include <vector>
+
+#include "snapper/snapper_runtime.h"
+
+using namespace snapper;
+
+// Inventory for one product.
+class StockActor : public TransactionalActor {
+ public:
+  StockActor() {
+    RegisterMethod("Reserve", [this](TxnContext& ctx, Value in) {
+      return Reserve(ctx, std::move(in));
+    });
+    RegisterMethod("Restock", [this](TxnContext& ctx, Value in) {
+      return Restock(ctx, std::move(in));
+    });
+    RegisterMethod("Available", [this](TxnContext& ctx, Value in) {
+      return Available(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    return Value(ValueMap{{"units", Value(int64_t{25})},
+                          {"price", Value(9.99)}});
+  }
+
+ private:
+  Task<Value> Reserve(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    const int64_t want = input["units"].AsInt();
+    const int64_t have = (*state)["units"].AsInt();
+    if (have < want) {
+      throw TxnAbort(Status::TxnAborted(AbortReason::kUserAbort,
+                                        "out of stock"));
+    }
+    state->AsMap()["units"] = Value(have - want);
+    co_return Value((*state)["price"].AsDouble() *
+                    static_cast<double>(want));
+  }
+
+  Task<Value> Restock(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    state->AsMap()["units"] =
+        Value((*state)["units"].AsInt() + input["units"].AsInt());
+    co_return (*state)["units"];
+  }
+
+  Task<Value> Available(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kRead);
+    co_return (*state)["units"];
+  }
+};
+
+// Order book per customer region; checkout is initiated here.
+class OrderActor : public TransactionalActor {
+ public:
+  OrderActor() {
+    RegisterMethod("CheckoutOrder", [this](TxnContext& ctx, Value in) {
+      return CheckoutOrder(ctx, std::move(in));
+    });
+    RegisterMethod("OrderCount", [this](TxnContext& ctx, Value in) {
+      return OrderCount(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    return Value(ValueMap{{"orders", Value(int64_t{0})},
+                          {"revenue", Value(0.0)}});
+  }
+
+ private:
+  // Input: {"stock_type": t, "products": [ids], "units": n}
+  Task<Value> CheckoutOrder(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    const uint32_t stock_type =
+        static_cast<uint32_t>(input["stock_type"].AsInt());
+    const int64_t units = input["units"].AsInt();
+
+    // Reserve every product in parallel; any out-of-stock aborts the whole
+    // order atomically (no partial reservations survive).
+    std::vector<Future<Value>> reservations;
+    for (const Value& product : input["products"].AsList()) {
+      FuncCall reserve;
+      reserve.method = "Reserve";
+      reserve.input = Value(ValueMap{{"units", Value(units)}});
+      reservations.push_back(CallActorAsync(
+          ctx, ActorId{stock_type, static_cast<uint64_t>(product.AsInt())},
+          std::move(reserve)));
+    }
+    double total = 0;
+    for (auto& r : reservations) {
+      Value cost = co_await r;
+      total += cost.AsDouble();
+    }
+    state->AsMap()["orders"] = Value((*state)["orders"].AsInt() + 1);
+    state->AsMap()["revenue"] = Value((*state)["revenue"].AsDouble() + total);
+    co_return Value(total);
+  }
+
+  Task<Value> OrderCount(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kRead);
+    co_return (*state)["orders"];
+  }
+};
+
+int main() {
+  SnapperRuntime runtime(SnapperConfig{});
+  const uint32_t kStock = runtime.RegisterActorType(
+      "Stock", [](uint64_t) { return std::make_shared<StockActor>(); });
+  const uint32_t kOrders = runtime.RegisterActorType(
+      "Orders", [](uint64_t) { return std::make_shared<OrderActor>(); });
+  runtime.Start();
+
+  const ActorId region{kOrders, 0};
+  auto checkout_input = [&](std::vector<uint64_t> products, int64_t units) {
+    ValueList ids;
+    for (uint64_t p : products) ids.push_back(Value(p));
+    return Value(ValueMap{{"stock_type", Value(uint64_t{kStock})},
+                          {"products", Value(std::move(ids))},
+                          {"units", Value(units)}});
+  };
+  auto checkout_info = [&](const std::vector<uint64_t>& products) {
+    ActorAccessInfo info;
+    info[region] = 1;
+    for (uint64_t p : products) info[ActorId{kStock, p}] = 1;
+    return info;
+  };
+
+  // Checkouts are PACTs: the product list IS the actor access declaration.
+  std::vector<Future<TxnResult>> checkouts;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<uint64_t> products = {static_cast<uint64_t>(i % 3),
+                                      static_cast<uint64_t>(3 + i % 2)};
+    checkouts.push_back(runtime.SubmitPact(region, "CheckoutOrder",
+                                           checkout_input(products, 2),
+                                           checkout_info(products)));
+  }
+  // Restocks arrive concurrently as ACTs (issued ad hoc by a warehouse job).
+  for (uint64_t p = 0; p < 5; ++p) {
+    runtime
+        .SubmitAct(ActorId{kStock, p}, "Restock",
+                   Value(ValueMap{{"units", Value(int64_t{50})}}))
+        .Get();
+  }
+  int committed = 0, rejected = 0;
+  double revenue = 0;
+  for (auto& f : checkouts) {
+    TxnResult r = f.Get();
+    if (r.ok()) {
+      committed++;
+      revenue += r.value.AsDouble();
+    } else {
+      rejected++;
+    }
+  }
+  std::printf("checkouts committed=%d rejected=%d revenue=%.2f\n", committed,
+              rejected, revenue);
+
+  // Drain the shelves to show atomic oversell rejection.
+  TxnResult oversell = runtime.RunPact(
+      region, "CheckoutOrder", checkout_input({0, 1}, 100000),
+      checkout_info({0, 1}));
+  std::printf("oversell attempt: %s\n", oversell.status.ToString().c_str());
+
+  TxnResult orders = runtime.RunAct(region, "OrderCount", Value());
+  std::printf("orders on book: %lld\n",
+              static_cast<long long>(orders.value.AsInt()));
+  return 0;
+}

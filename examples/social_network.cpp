@@ -1,0 +1,196 @@
+// Social network — the paper's motivating *hybrid* scenario (§1):
+//   * JoinGroup updates "the membership data in a determined user actor and
+//     group actor, each being accessed once" — a natural PACT;
+//   * CleanUpFriendList "removes friends who are in the user's friend list
+//     but with no recent interactions, and would then trigger the removed
+//     friends to also update their friend lists" — the participant set is
+//     only discovered during execution, so it must run as an ACT.
+// Both run concurrently under Snapper's hybrid execution.
+//
+//   ./examples/social_network
+#include <cstdio>
+#include <vector>
+
+#include "snapper/snapper_runtime.h"
+
+using namespace snapper;
+
+class UserActor : public TransactionalActor {
+ public:
+  UserActor() {
+    RegisterMethod("AddFriend", [this](TxnContext& ctx, Value in) {
+      return AddFriend(ctx, std::move(in));
+    });
+    RegisterMethod("RemoveFriend", [this](TxnContext& ctx, Value in) {
+      return RemoveFriend(ctx, std::move(in));
+    });
+    RegisterMethod("RecordInteraction", [this](TxnContext& ctx, Value in) {
+      return RecordInteraction(ctx, std::move(in));
+    });
+    RegisterMethod("JoinGroup", [this](TxnContext& ctx, Value in) {
+      return JoinGroup(ctx, std::move(in));
+    });
+    RegisterMethod("CleanUpFriendList", [this](TxnContext& ctx, Value in) {
+      return CleanUpFriendList(ctx, std::move(in));
+    });
+    RegisterMethod("FriendCount", [this](TxnContext& ctx, Value in) {
+      return FriendCount(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    // friends: {friend_id -> last_interaction_time}; groups: [ids]
+    return Value(ValueMap{{"friends", Value(ValueMap{})},
+                          {"groups", Value(ValueList{})}});
+  }
+
+ private:
+  Task<Value> AddFriend(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    state->AsMap()["friends"].AsMap()[input["id"].ToString()] =
+        input["time"];
+    co_return Value();
+  }
+
+  Task<Value> RemoveFriend(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    state->AsMap()["friends"].AsMap().erase(input["id"].ToString());
+    co_return Value();
+  }
+
+  Task<Value> RecordInteraction(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    auto& friends = state->AsMap()["friends"].AsMap();
+    auto it = friends.find(input["id"].ToString());
+    if (it != friends.end()) it->second = input["time"];
+    co_return Value();
+  }
+
+  // PACT: exactly this user actor + one group actor, each accessed once.
+  Task<Value> JoinGroup(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    state->AsMap()["groups"].AsList().push_back(input["group"]);
+    FuncCall add;
+    add.method = "AddMember";
+    add.input = Value(ValueMap{{"user", Value(id().key)}});
+    const ActorId group{static_cast<uint32_t>(input["group_type"].AsInt()),
+                        static_cast<uint64_t>(input["group"].AsInt())};
+    co_await CallActor(ctx, group, std::move(add));
+    co_return Value();
+  }
+
+  // ACT: which friends get removed (and therefore which actors are called)
+  // depends on the friend list and interaction times read at runtime.
+  Task<Value> CleanUpFriendList(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kReadWrite);
+    const int64_t cutoff = input["cutoff"].AsInt();
+    auto& friends = state->AsMap()["friends"].AsMap();
+    std::vector<std::string> stale;
+    for (const auto& [friend_id, last_time] : friends) {
+      if (last_time.AsInt() < cutoff) stale.push_back(friend_id);
+    }
+    int64_t removed = 0;
+    for (const std::string& key : stale) {
+      // key is the ToString() of the id ("42"); parse it back.
+      const uint64_t friend_key = std::strtoull(key.c_str(), nullptr, 10);
+      friends.erase(key);
+      // Trigger the removed friend to update their own list too.
+      FuncCall remove;
+      remove.method = "RemoveFriend";
+      remove.input = Value(ValueMap{{"id", Value(id().key)}});
+      co_await CallActor(ctx, ActorId{id().type, friend_key},
+                         std::move(remove));
+      removed++;
+    }
+    co_return Value(removed);
+  }
+
+  Task<Value> FriendCount(TxnContext& ctx, Value input) {
+    Value* state = co_await GetState(ctx, AccessMode::kRead);
+    co_return Value(
+        static_cast<int64_t>((*state)["friends"].AsMap().size()));
+  }
+};
+
+class GroupActor : public TransactionalActor {
+ public:
+  GroupActor() {
+    RegisterMethod("AddMember", [this](TxnContext& ctx, Value in) {
+      return AddMember(ctx, std::move(in));
+    });
+    RegisterMethod("MemberCount", [this](TxnContext& ctx, Value in) {
+      return MemberCount(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override { return Value(ValueList{}); }
+
+ private:
+  Task<Value> AddMember(TxnContext& ctx, Value input) {
+    Value* members = co_await GetState(ctx, AccessMode::kReadWrite);
+    members->AsList().push_back(input["user"]);
+    co_return Value();
+  }
+  Task<Value> MemberCount(TxnContext& ctx, Value input) {
+    Value* members = co_await GetState(ctx, AccessMode::kRead);
+    co_return Value(static_cast<int64_t>(members->AsList().size()));
+  }
+};
+
+int main() {
+  SnapperRuntime runtime(SnapperConfig{});
+  const uint32_t kUser = runtime.RegisterActorType(
+      "User", [](uint64_t) { return std::make_shared<UserActor>(); });
+  const uint32_t kGroup = runtime.RegisterActorType(
+      "Group", [](uint64_t) { return std::make_shared<GroupActor>(); });
+  runtime.Start();
+
+  // Build a small friendship graph: user 0 befriends users 1..6, with old
+  // interaction times for 1..3 and recent ones for 4..6.
+  for (uint64_t f = 1; f <= 6; ++f) {
+    const int64_t time = f <= 3 ? 100 : 900;
+    runtime
+        .RunAct(ActorId{kUser, 0}, "AddFriend",
+                Value(ValueMap{{"id", Value(f)}, {"time", Value(time)}}))
+        .status.ok();
+    runtime
+        .RunAct(ActorId{kUser, f}, "AddFriend",
+                Value(ValueMap{{"id", Value(uint64_t{0})},
+                               {"time", Value(time)}}))
+        .status.ok();
+  }
+
+  // Hybrid burst: JoinGroup PACTs (pre-declarable: user + group, once each)
+  // racing a CleanUpFriendList ACT on the same user actor.
+  std::vector<Future<TxnResult>> joins;
+  for (uint64_t u = 0; u <= 6; ++u) {
+    Value input(ValueMap{{"group", Value(uint64_t{7})},
+                         {"group_type", Value(uint64_t{kGroup})}});
+    ActorAccessInfo info;
+    info[ActorId{kUser, u}] = 1;
+    info[ActorId{kGroup, 7}] = 1;
+    joins.push_back(
+        runtime.SubmitPact(ActorId{kUser, u}, "JoinGroup", input, info));
+  }
+  Future<TxnResult> cleanup =
+      runtime.SubmitAct(ActorId{kUser, 0}, "CleanUpFriendList",
+                        Value(ValueMap{{"cutoff", Value(int64_t{500})}}));
+
+  int joined = 0;
+  for (auto& j : joins) joined += j.Get().ok();
+  TxnResult cleaned = cleanup.Get();
+  std::printf("JoinGroup PACTs committed: %d/7\n", joined);
+  std::printf("CleanUpFriendList ACT: %s, removed %lld stale friends\n",
+              cleaned.status.ToString().c_str(),
+              cleaned.ok() ? static_cast<long long>(cleaned.value.AsInt())
+                           : 0LL);
+
+  TxnResult members =
+      runtime.RunAct(ActorId{kGroup, 7}, "MemberCount", Value());
+  TxnResult friends =
+      runtime.RunAct(ActorId{kUser, 0}, "FriendCount", Value());
+  std::printf("group 7 members: %lld, user 0 friends left: %lld\n",
+              static_cast<long long>(members.value.AsInt()),
+              static_cast<long long>(friends.value.AsInt()));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "actor/actor.h"
+
+namespace snapper {
+
+ActorRuntime::ActorRuntime(Options options)
+    : options_(options),
+      executor_(options.num_workers),
+      rng_(options.seed),
+      max_delay_ms_(options.max_inject_delay_ms) {
+  shards_.reserve(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ActorRuntime::~ActorRuntime() { Shutdown(); }
+
+uint32_t ActorRuntime::RegisterType(
+    std::string name,
+    std::function<std::shared_ptr<ActorBase>(uint64_t)> factory) {
+  std::lock_guard<std::mutex> lock(types_mu_);
+  factories_.push_back(std::move(factory));
+  type_names_.push_back(std::move(name));
+  return static_cast<uint32_t>(factories_.size() - 1);
+}
+
+std::shared_ptr<ActorBase> ActorRuntime::GetOrActivate(const ActorId& id) {
+  Shard& shard = *shards_[ActorIdHash()(id) % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it != shard.map.end()) return it->second;
+  }
+  // Construct outside the shard lock (factories may be heavy), then publish;
+  // the loser of a racing double-activation is discarded before first use.
+  std::function<std::shared_ptr<ActorBase>(uint64_t)> factory;
+  {
+    std::lock_guard<std::mutex> lock(types_mu_);
+    assert(id.type < factories_.size() && "unregistered actor type");
+    factory = factories_[id.type];
+  }
+  auto actor = factory(id.key);
+  actor->id_ = id;
+  actor->runtime_ = this;
+  actor->strand_ = std::make_shared<Strand>(&executor_);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(id, actor);
+    if (!inserted) return it->second;
+  }
+  num_activations_.fetch_add(1);
+  actor->strand_->Post([actor]() { actor->OnActivate(); });
+  return actor;
+}
+
+void ActorRuntime::CrashAllActors() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+  num_activations_.store(0);
+}
+
+void ActorRuntime::Shutdown() {
+  timers_.Stop();
+  executor_.Stop();
+}
+
+uint32_t ActorRuntime::RandomDelayMs() {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return static_cast<uint32_t>(rng_.Uniform(max_delay_ms_.load() + 1));
+}
+
+}  // namespace snapper

@@ -1,0 +1,199 @@
+// Minimal virtual-actor runtime — the Orleans substitute (paper §2).
+//
+// Provides exactly the four properties Snapper relies on:
+//   1. Virtual actors: identified by (type, key); activated on first use and
+//      conceptually perpetual (this runtime never deactivates live actors).
+//   2. Turn-based scheduling: each actor owns a Strand; one posted task = one
+//      turn; turns of one actor never run concurrently.
+//   3. Asynchronous RPC with futures: `Call` constructs a coroutine on the
+//      target actor and starts it on the target's strand; the caller gets a
+//      Future and may `co_await` it.
+//   4. Reentrancy: while a turn is suspended awaiting, the strand is free to
+//      run other turns of the same actor (Snapper requires this for its
+//      deterministic scheduling, §3.1).
+//
+// Message timing is nondeterministic by construction (worker interleaving);
+// `Options::inject_delays` adds randomized delivery delays on top, used by
+// the determinism property tests.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "async/executor.h"
+#include "async/future.h"
+#include "async/task.h"
+#include "async/timer.h"
+#include "common/rng.h"
+
+namespace snapper {
+
+/// Actor identity: a registered type plus a user-chosen 64-bit key
+/// (the analogue of Orleans' user-defined actor identities).
+struct ActorId {
+  uint32_t type = 0;
+  uint64_t key = 0;
+
+  bool operator==(const ActorId& o) const {
+    return type == o.type && key == o.key;
+  }
+  bool operator<(const ActorId& o) const {
+    return type != o.type ? type < o.type : key < o.key;
+  }
+  std::string ToString() const {
+    return std::to_string(type) + "/" + std::to_string(key);
+  }
+};
+
+struct ActorIdHash {
+  size_t operator()(const ActorId& id) const {
+    uint64_t x = (static_cast<uint64_t>(id.type) << 56) ^ id.key;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+class ActorRuntime;
+
+/// Base class of every actor. Owns the actor's strand; subclasses run all
+/// state access on it.
+class ActorBase : public std::enable_shared_from_this<ActorBase> {
+ public:
+  virtual ~ActorBase() = default;
+
+  const ActorId& id() const { return id_; }
+  ActorRuntime& runtime() const { return *runtime_; }
+  Strand& strand() const { return *strand_; }
+
+  /// Called once on the actor's strand right after activation.
+  virtual void OnActivate() {}
+
+ private:
+  friend class ActorRuntime;
+  ActorId id_;
+  ActorRuntime* runtime_ = nullptr;
+  std::shared_ptr<Strand> strand_;
+};
+
+/// In-process actor directory + scheduler.
+class ActorRuntime {
+ public:
+  struct Options {
+    /// Worker threads executing actor turns ("cores of the silo").
+    size_t num_workers = 4;
+    /// Randomized per-message delivery delay, exercising Orleans'
+    /// nondeterministic message timing. 0 disables injection.
+    uint32_t max_inject_delay_ms = 0;
+    uint64_t seed = 42;
+  };
+
+  explicit ActorRuntime(Options options);
+  ~ActorRuntime();
+
+  ActorRuntime(const ActorRuntime&) = delete;
+  ActorRuntime& operator=(const ActorRuntime&) = delete;
+
+  /// Registers an actor type; `factory` constructs an instance for a key.
+  /// Returns the type id to embed in ActorIds. Must be called before any
+  /// activation of that type.
+  uint32_t RegisterType(
+      std::string name,
+      std::function<std::shared_ptr<ActorBase>(uint64_t key)> factory);
+
+  /// Returns the live actor, activating it on first use (virtual actor
+  /// semantics). Thread-safe.
+  std::shared_ptr<ActorBase> GetOrActivate(const ActorId& id);
+
+  /// Typed variant; undefined behaviour if `A` mismatches the registered
+  /// factory for `id.type`.
+  template <typename A>
+  std::shared_ptr<A> Get(const ActorId& id) {
+    return std::static_pointer_cast<A>(GetOrActivate(id));
+  }
+
+  /// Asynchronous RPC: runs `fn(actor)` — which must return Task<T> — as
+  /// turns on the target actor's strand. The returned future resolves with
+  /// the task's result. Delivery order between distinct calls is
+  /// unspecified.
+  template <typename A, typename Fn>
+  auto Call(const ActorId& id, Fn fn) {
+    auto actor = Get<A>(id);
+    using TaskT = std::invoke_result_t<Fn, A&>;
+    auto task = fn(*actor);
+    if (max_delay_ms_ == 0) {
+      return task.Start(actor->strand());
+    }
+    // Delay injection: hold the first turn back for a random interval.
+    auto future = task.GetFuture();
+    auto delay = std::chrono::milliseconds(RandomDelayMs());
+    auto strand = actor->strand_;
+    // Move the task into a shared slot the timer callback can start from.
+    auto slot = std::make_shared<TaskT>(std::move(task));
+    timers_.Schedule(delay, [slot, strand]() { slot->Start(*strand); });
+    return future;
+  }
+
+  /// Posts a plain (non-coroutine) turn to the actor's strand.
+  void Post(const ActorId& id, std::function<void()> fn) {
+    GetOrActivate(id)->strand().Post(std::move(fn));
+  }
+
+  /// Creates a strand not owned by any actor (loggers, harness).
+  std::shared_ptr<Strand> NewStrand() {
+    return std::make_shared<Strand>(&executor_);
+  }
+
+  Executor& executor() { return executor_; }
+  TimerService& timers() { return timers_; }
+
+  /// Opaque application-level context (e.g. Snapper's shared component
+  /// wiring), reachable from any actor via its runtime.
+  void set_app_context(void* ctx) { app_context_ = ctx; }
+  void* app_context() const { return app_context_; }
+
+  size_t num_activations() const { return num_activations_.load(); }
+  size_t num_workers() const { return executor_.num_threads(); }
+
+  /// Simulates losing all in-memory actor state (a silo crash): drops every
+  /// activation. Subsequent calls re-activate fresh instances, which recover
+  /// from the WAL (paper §4.2.5). Callers must quiesce in-flight work first.
+  void CrashAllActors();
+
+  /// Stops workers and timers. Pending turns are drained first.
+  void Shutdown();
+
+ private:
+  uint32_t RandomDelayMs();
+
+  Options options_;
+  Executor executor_;
+  TimerService timers_;
+
+  std::mutex types_mu_;
+  std::vector<std::function<std::shared_ptr<ActorBase>(uint64_t)>> factories_;
+  std::vector<std::string> type_names_;
+
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<ActorId, std::shared_ptr<ActorBase>, ActorIdHash> map;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::atomic<size_t> num_activations_{0};
+  std::atomic<uint32_t> max_delay_ms_{0};
+  void* app_context_ = nullptr;
+};
+
+}  // namespace snapper

@@ -1,0 +1,107 @@
+#include "async/executor.h"
+
+#include <cassert>
+
+namespace snapper {
+
+namespace {
+thread_local Strand* tls_current_strand = nullptr;
+thread_local Executor* tls_current_executor = nullptr;
+}  // namespace
+
+Executor::Executor(size_t num_threads) {
+  assert(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Stop(); }
+
+void Executor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Executor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped; make sure threads are joined below exactly once.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool Executor::InExecutor() const { return tls_current_executor == this; }
+
+void Executor::WorkerLoop() {
+  tls_current_executor = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ and drained: exit. (Tasks enqueued before Stop() still
+        // run; posts after Stop() were dropped.)
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Strand::Post(std::function<void()> fn) {
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    if (!scheduled_) {
+      scheduled_ = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) ScheduleDrain();
+}
+
+Strand* Strand::Current() { return tls_current_strand; }
+
+void Strand::ScheduleDrain() {
+  executor_->Post([self = shared_from_this()] { self->Drain(); });
+}
+
+void Strand::Drain() {
+  Strand* prev = tls_current_strand;
+  tls_current_strand = this;
+  for (int i = 0; i < kDrainBudget; ++i) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        scheduled_ = false;
+        tls_current_strand = prev;
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  tls_current_strand = prev;
+  // Budget exhausted with work remaining: yield the worker, requeue.
+  ScheduleDrain();
+}
+
+}  // namespace snapper

@@ -1,0 +1,86 @@
+// Worker-pool executor and per-actor strands.
+//
+// The actor runtime maps every actor onto a Strand: a serialized execution
+// context that guarantees at most one queued task of the actor runs at a
+// time, while different actors' strands run in parallel on the pool. This is
+// the C++ analogue of Orleans turn-based scheduling (paper §2): one strand
+// task == one turn.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snapper {
+
+/// Fixed-size thread pool. Tasks are arbitrary callables; FIFO dispatch.
+class Executor {
+ public:
+  /// Creates the pool with `num_threads` workers (>= 1). Threads start
+  /// immediately.
+  explicit Executor(size_t num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues `fn`. Safe from any thread, including pool workers.
+  /// After Stop(), posts are silently dropped.
+  void Post(std::function<void()> fn);
+
+  /// Drains nothing; signals workers to exit once the queue empties and
+  /// joins them. Idempotent.
+  void Stop();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// True when called from one of this executor's worker threads.
+  bool InExecutor() const;
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Serialized sub-executor: tasks posted to a Strand run in FIFO order and
+/// never concurrently with each other. Reentrancy in the Orleans sense falls
+/// out naturally: while a coroutine turn is suspended (awaiting), the strand
+/// is free to run other queued turns of the same actor.
+class Strand : public std::enable_shared_from_this<Strand> {
+ public:
+  explicit Strand(Executor* executor) : executor_(executor) {}
+
+  /// Enqueues `fn` on this strand. Safe from any thread.
+  void Post(std::function<void()> fn);
+
+  /// The strand currently executing on this thread, or nullptr if the caller
+  /// is not inside a strand task. Used by coroutine awaiters to resume on the
+  /// owning actor's context.
+  static Strand* Current();
+
+  Executor* executor() const { return executor_; }
+
+ private:
+  void ScheduleDrain();
+  void Drain();
+
+  // Max tasks per drain before yielding the worker to other strands.
+  static constexpr int kDrainBudget = 32;
+
+  Executor* executor_;
+  std::mutex mu_;
+  std::deque<std::function<void()>> queue_;
+  bool scheduled_ = false;  // a drain job is queued or running
+};
+
+}  // namespace snapper

@@ -1,0 +1,99 @@
+#include "async/timer.h"
+
+#include <vector>
+
+namespace snapper {
+
+TimerService::TimerService() : thread_([this] { Loop(); }) {}
+
+TimerService::~TimerService() { Stop(); }
+
+TimerId TimerService::Schedule(std::chrono::microseconds delay,
+                               std::function<void()> fn) {
+  const auto deadline = Clock::now() + delay;
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return 0;
+    id = next_id_++;
+    timers_.emplace(id, Entry{deadline, std::move(fn)});
+    by_deadline_.emplace(deadline, id);
+  }
+  cv_.notify_one();
+  return id;
+}
+
+bool TimerService::Cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  auto range = by_deadline_.equal_range(it->second.deadline);
+  for (auto dit = range.first; dit != range.second; ++dit) {
+    if (dit->second == id) {
+      by_deadline_.erase(dit);
+      break;
+    }
+  }
+  timers_.erase(it);
+  return true;
+}
+
+void TimerService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // fallthrough to join
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerService::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (by_deadline_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const auto next = by_deadline_.begin()->first;
+    if (Clock::now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    // Collect everything due, release the lock, fire.
+    std::vector<std::function<void()>> due;
+    const auto now = Clock::now();
+    while (!by_deadline_.empty() && by_deadline_.begin()->first <= now) {
+      TimerId id = by_deadline_.begin()->second;
+      by_deadline_.erase(by_deadline_.begin());
+      auto it = timers_.find(id);
+      if (it != timers_.end()) {
+        due.push_back(std::move(it->second.fn));
+        timers_.erase(it);
+      }
+    }
+    lock.unlock();
+    for (auto& fn : due) fn();
+    lock.lock();
+  }
+}
+
+Future<Status> AwaitStatusWithTimeout(TimerService& timers, Future<Status> f,
+                                      std::chrono::milliseconds timeout) {
+  // Fast path: already resolved (uncontended locks, empty schedules) — no
+  // timer bookkeeping needed.
+  if (f.ready()) return f;
+  auto state = std::make_shared<FutureState<Status>>();
+  TimerId id = timers.Schedule(timeout, [state] {
+    state->TrySet(Status::TimedOut("wait timed out"));
+  });
+  f.OnReady([state, f, &timers, id]() {
+    if (state->TrySet(f.Peek())) timers.Cancel(id);
+  });
+  return Future<Status>(state);
+}
+
+}  // namespace snapper

@@ -1,0 +1,66 @@
+// TimerService: a dedicated thread firing scheduled callbacks. Used for the
+// hybrid-execution deadlock breaker (§4.4.2 timeout mechanism), OrleansTxn's
+// lock-wait timeouts, and bench epoch pacing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "async/future.h"
+#include "common/status.h"
+
+namespace snapper {
+
+/// Handle for cancelling a scheduled timer. 0 is never a valid id.
+using TimerId = uint64_t;
+
+class TimerService {
+ public:
+  TimerService();
+  ~TimerService();
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Runs `fn` on the timer thread after `delay` (milliseconds and other
+  /// coarser durations convert implicitly). `fn` must be cheap and
+  /// thread-safe (typically: resolve a promise, whose continuations post to
+  /// strands).
+  TimerId Schedule(std::chrono::microseconds delay, std::function<void()> fn);
+
+  /// Best-effort cancel; returns true if the timer had not fired yet.
+  bool Cancel(TimerId id);
+
+  /// Stops the thread; pending timers are dropped. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    Clock::time_point deadline;
+    std::function<void()> fn;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<TimerId, Entry> timers_;            // by id, for cancel
+  std::multimap<Clock::time_point, TimerId> by_deadline_;
+  TimerId next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Races `f` against a timeout: the result future resolves with `f`'s status
+/// if it arrives in time, otherwise with Status::TimedOut. First-wins; the
+/// loser's resolution is discarded.
+Future<Status> AwaitStatusWithTimeout(TimerService& timers, Future<Status> f,
+                                      std::chrono::milliseconds timeout);
+
+}  // namespace snapper

@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace snapper::crc32c {
+
+namespace {
+
+// Table-driven CRC32C, generated at static-init time from the Castagnoli
+// polynomial (reflected form 0x82f63b78).
+struct Table {
+  std::array<uint32_t, 256> t{};
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Table kTable;
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable.t[(crc ^ static_cast<uint8_t>(data[i])) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace snapper::crc32c

@@ -1,0 +1,99 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace snapper {
+
+namespace {
+// 28 powers of two, 16 sub-buckets each: covers [0, ~268s) in microseconds
+// with <= ~6% relative error per bucket.
+constexpr int kSubBucketsLog2 = 4;
+constexpr int kSubBuckets = 1 << kSubBucketsLog2;
+constexpr int kNumBuckets = 28 * kSubBuckets;
+
+uint64_t BucketLowerBound(size_t idx) {
+  const size_t exp = idx >> kSubBucketsLog2;
+  const size_t sub = idx & (kSubBuckets - 1);
+  if (exp == 0) return sub;
+  const uint64_t base = 1ull << (exp + kSubBucketsLog2 - 1);
+  return base + sub * (base / kSubBuckets);
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int msb = 63 - __builtin_clzll(value);
+  const int exp = msb - kSubBucketsLog2 + 1;
+  const uint64_t base = 1ull << msb;
+  const uint64_t sub = (value - base) / (base / kSubBuckets);
+  size_t idx = static_cast<size_t>(exp) * kSubBuckets + sub;
+  return std::min<size_t>(idx, kNumBuckets - 1);
+}
+
+void Histogram::Record(uint64_t value_us) {
+  buckets_[BucketFor(value_us)]++;
+  count_++;
+  sum_ += value_us;
+  min_ = std::min(min_, value_us);
+  max_ = std::max(max_, value_us);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi =
+          i + 1 < buckets_.size() ? BucketLowerBound(i + 1) : lo + 1;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      return std::min(v, static_cast<double>(max_));
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%.0fus p90=%.0fus p99=%.0fus "
+                "max=%lluus",
+                static_cast<unsigned long long>(count_), Mean(), Quantile(0.5),
+                Quantile(0.9), Quantile(0.99),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace snapper

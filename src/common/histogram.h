@@ -1,0 +1,43 @@
+// Latency histogram used by the bench harness for the paper's percentile
+// metrics (Figs. 13, 16b). Log-bucketed so recording is O(1) and lock-free
+// aggregation across client threads is a simple bucket-wise sum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snapper {
+
+/// Records microsecond-scale durations; quantiles are interpolated within
+/// log-spaced buckets (~2.5% relative resolution).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// q in [0, 1]; e.g. Quantile(0.99) is the p99.
+  double Quantile(double q) const;
+
+  /// One-line summary: count/mean/p50/p90/p99/max.
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(uint64_t value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace snapper

@@ -1,0 +1,76 @@
+// Deterministic PRNG plus the access-distribution generators used by the
+// paper's workloads: Zipf (Fig. 11b skew levels, via MathNet-equivalent
+// inverse-CDF sampling) and the hotspot distribution of §5.4.1 (1% hot set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace snapper {
+
+/// xoshiro256** — fast, seedable, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s, n) over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+///
+/// Sampling is by binary search over a precomputed CDF table, matching the
+/// MathNet.Numerics.Distributions.Zipf generator the paper uses. s = 0 is the
+/// uniform distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(double s, uint64_t n);
+
+  uint64_t Sample(Rng& rng) const;
+
+  double s() const { return s_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  double s_;
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+/// Hotspot distribution (§5.4.1): `hot_fraction` of the keys form a hot set;
+/// a sample hits the hot set with probability `hot_probability`, otherwise
+/// the cold set. Both halves are uniform. The paper's skewed scalability
+/// workload uses a 1% hot set with 3 of the txnsize-4 accesses hot.
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t n, double hot_fraction, double hot_probability);
+
+  uint64_t Sample(Rng& rng) const;
+  /// Sample restricted to the hot set.
+  uint64_t SampleHot(Rng& rng) const;
+  /// Sample restricted to the cold set.
+  uint64_t SampleCold(Rng& rng) const;
+
+  uint64_t hot_size() const { return hot_size_; }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_size_;
+  double hot_probability_;
+};
+
+}  // namespace snapper

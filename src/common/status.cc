@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+namespace snapper {
+
+namespace {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kTxnAborted: return "TxnAborted";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kShuttingDown: return "ShuttingDown";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kUserAbort: return "user-abort";
+    case AbortReason::kActActConflict: return "act-act-conflict";
+    case AbortReason::kPactActDeadlock: return "pact-act-deadlock";
+    case AbortReason::kIncompleteAfterSet: return "incomplete-afterset";
+    case AbortReason::kSerializabilityCheck: return "serializability-check";
+    case AbortReason::kCascading: return "cascading";
+    case AbortReason::kEarlyLockRelease: return "early-lock-release";
+    case AbortReason::kSystemFailure: return "system-failure";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (code_ == StatusCode::kTxnAborted) {
+    out += "(";
+    out += AbortReasonName(abort_reason_);
+    out += ")";
+  }
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace snapper

@@ -1,0 +1,142 @@
+// Status and Result<T>: RocksDB-style error propagation for expected failures.
+//
+// Exceptions are reserved for user-level transaction aborts inside actor
+// coroutines (mirroring Snapper's exception-based abort API, paper Fig. 2);
+// every other fallible path in this library returns Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace snapper {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kTxnAborted,         ///< Transaction aborted (any reason; see AbortReason).
+  kNotFound,           ///< Entity (actor, log file, record) does not exist.
+  kInvalidArgument,    ///< Caller error: malformed input, bad configuration.
+  kCorruption,         ///< WAL checksum/framing mismatch.
+  kIOError,            ///< Storage layer failure.
+  kTimedOut,           ///< A bounded wait expired (hybrid deadlock breaker).
+  kShuttingDown,       ///< Runtime is draining; request rejected.
+  kInternal,           ///< Invariant violation inside the library.
+};
+
+/// Why a transaction was aborted. Mirrors the four categories of the paper's
+/// Fig. 16c plus user-initiated and failure-induced aborts.
+enum class AbortReason : int {
+  kNone = 0,
+  kUserAbort,            ///< User code threw (e.g., insufficient balance).
+  kActActConflict,       ///< (1) read/write conflict between ACTs (wait-die).
+  kPactActDeadlock,      ///< (2) timeout: deadlock between PACTs and ACTs.
+  kIncompleteAfterSet,   ///< (3) serializability check: AfterSet incomplete.
+  kSerializabilityCheck, ///< (4) check failed: max(BS) >= min(AS).
+  kCascading,            ///< Rolled back because a dependency aborted.
+  kEarlyLockRelease,     ///< OrleansTxn baseline: dirty-read dependency aborted.
+  kSystemFailure,        ///< Crash / recovery decided abort.
+};
+
+/// Human-readable name for an abort reason (stable, used in bench output).
+const char* AbortReasonName(AbortReason reason);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status TxnAborted(AbortReason reason, std::string msg = "") {
+    Status s(StatusCode::kTxnAborted, std::move(msg));
+    s.abort_reason_ = reason;
+    return s;
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status ShuttingDown(std::string msg = "shutting down") {
+    return Status(StatusCode::kShuttingDown, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  AbortReason abort_reason() const { return abort_reason_; }
+  const std::string& message() const { return message_; }
+
+  bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && abort_reason_ == other.abort_reason_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  AbortReason abort_reason_ = AbortReason::kNone;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace snapper

@@ -1,0 +1,221 @@
+#include "common/value.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace snapper {
+
+namespace {
+const Value kNullValue;
+const std::string kEmptyString;
+const ValueList kEmptyList;
+const ValueMap kEmptyMap;
+// Recursion guard for decoding adversarial inputs.
+constexpr int kMaxDecodeDepth = 64;
+}  // namespace
+
+bool Value::AsBool() const {
+  assert(is_bool());
+  return is_bool() ? std::get<bool>(v_) : false;
+}
+
+int64_t Value::AsInt() const {
+  assert(is_int());
+  return is_int() ? std::get<int64_t>(v_) : 0;
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  assert(is_double());
+  return is_double() ? std::get<double>(v_) : 0.0;
+}
+
+const std::string& Value::AsString() const {
+  assert(is_string());
+  return is_string() ? std::get<std::string>(v_) : kEmptyString;
+}
+
+const ValueList& Value::AsList() const {
+  assert(is_list());
+  return is_list() ? std::get<ValueList>(v_) : kEmptyList;
+}
+
+ValueList& Value::AsList() {
+  if (!is_list()) v_ = ValueList{};
+  return std::get<ValueList>(v_);
+}
+
+const ValueMap& Value::AsMap() const {
+  assert(is_map());
+  return is_map() ? std::get<ValueMap>(v_) : kEmptyMap;
+}
+
+ValueMap& Value::AsMap() {
+  if (!is_map()) v_ = ValueMap{};
+  return std::get<ValueMap>(v_);
+}
+
+const Value& Value::operator[](const std::string& key) const {
+  if (!is_map()) return kNullValue;
+  const auto& m = std::get<ValueMap>(v_);
+  auto it = m.find(key);
+  return it == m.end() ? kNullValue : it->second;
+}
+
+const Value& Value::At(size_t index) const {
+  if (!is_list()) return kNullValue;
+  const auto& l = std::get<ValueList>(v_);
+  return index < l.size() ? l[index] : kNullValue;
+}
+
+size_t Value::size() const {
+  if (is_list()) return std::get<ValueList>(v_).size();
+  if (is_map()) return std::get<ValueMap>(v_).size();
+  return 0;
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  PutFixed8(dst, static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutFixed8(dst, std::get<bool>(v_) ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutFixed64(dst, static_cast<uint64_t>(std::get<int64_t>(v_)));
+      break;
+    case ValueType::kDouble:
+      PutDouble(dst, std::get<double>(v_));
+      break;
+    case ValueType::kString:
+      PutLengthPrefixed(dst, std::get<std::string>(v_));
+      break;
+    case ValueType::kList: {
+      const auto& l = std::get<ValueList>(v_);
+      PutVarint64(dst, l.size());
+      for (const auto& e : l) e.EncodeTo(dst);
+      break;
+    }
+    case ValueType::kMap: {
+      const auto& m = std::get<ValueMap>(v_);
+      PutVarint64(dst, m.size());
+      for (const auto& [k, val] : m) {
+        PutLengthPrefixed(dst, k);
+        val.EncodeTo(dst);
+      }
+      break;
+    }
+  }
+}
+
+namespace {
+
+bool DecodeValue(std::string_view* in, Value* out, int depth) {
+  if (depth > kMaxDecodeDepth) return false;
+  uint8_t tag;
+  if (!GetFixed8(in, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value();
+      return true;
+    case ValueType::kBool: {
+      uint8_t b;
+      if (!GetFixed8(in, &b)) return false;
+      *out = Value(b != 0);
+      return true;
+    }
+    case ValueType::kInt: {
+      uint64_t i;
+      if (!GetFixed64(in, &i)) return false;
+      *out = Value(static_cast<int64_t>(i));
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      if (!GetDouble(in, &d)) return false;
+      *out = Value(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string_view s;
+      if (!GetLengthPrefixed(in, &s)) return false;
+      *out = Value(std::string(s));
+      return true;
+    }
+    case ValueType::kList: {
+      uint64_t n;
+      if (!GetVarint64(in, &n)) return false;
+      if (n > in->size()) return false;  // each element is >= 1 byte
+      ValueList l;
+      l.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        Value e;
+        if (!DecodeValue(in, &e, depth + 1)) return false;
+        l.push_back(std::move(e));
+      }
+      *out = Value(std::move(l));
+      return true;
+    }
+    case ValueType::kMap: {
+      uint64_t n;
+      if (!GetVarint64(in, &n)) return false;
+      if (n > in->size()) return false;
+      ValueMap m;
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string_view k;
+        Value v;
+        if (!GetLengthPrefixed(in, &k)) return false;
+        if (!DecodeValue(in, &v, depth + 1)) return false;
+        m.emplace(std::string(k), std::move(v));
+      }
+      *out = Value(std::move(m));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Value::DecodeFrom(std::string_view* in) {
+  return DecodeValue(in, this, 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble:
+      return std::to_string(std::get<double>(v_));
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(v_) + "\"";
+    case ValueType::kList: {
+      std::string out = "[";
+      const auto& l = std::get<ValueList>(v_);
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i) out += ",";
+        out += l[i].ToString();
+      }
+      return out + "]";
+    }
+    case ValueType::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : std::get<ValueMap>(v_)) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + k + "\":" + v.ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace snapper

@@ -1,0 +1,105 @@
+// Value: a dynamic, serializable datum used for transactional method inputs
+// and outputs — the C++ analogue of the `object FuncInput` in Snapper's C#
+// API (paper Table 1). Also used as the payload type for actor-state WAL
+// snapshots of workload actors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace snapper {
+
+class Value;
+
+using ValueList = std::vector<Value>;
+// std::map (ordered) so encodings are deterministic across runs.
+using ValueMap = std::map<std::string, Value>;
+
+/// Tag identifying the alternative held by a Value. Wire-stable.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kList = 5,
+  kMap = 6,
+};
+
+/// A JSON-like dynamic value: null, bool, int64, double, string, list or map.
+class Value {
+ public:
+  Value() = default;
+  Value(bool b) : v_(b) {}                      // NOLINT
+  Value(int i) : v_(static_cast<int64_t>(i)) {}  // NOLINT
+  Value(int64_t i) : v_(i) {}                   // NOLINT
+  Value(uint64_t i) : v_(static_cast<int64_t>(i)) {}  // NOLINT
+  Value(double d) : v_(d) {}                    // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}    // NOLINT
+  Value(ValueList l) : v_(std::move(l)) {}      // NOLINT
+  Value(ValueMap m) : v_(std::move(m)) {}       // NOLINT
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_list() const { return type() == ValueType::kList; }
+  bool is_map() const { return type() == ValueType::kMap; }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (asserts in debug; value-initialized fallback in release).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  /// AsDouble additionally accepts kInt (widening), since workload inputs
+  /// routinely mix the two.
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const ValueList& AsList() const;
+  ValueList& AsList();
+  const ValueMap& AsMap() const;
+  ValueMap& AsMap();
+
+  /// Map field lookup; returns a shared null Value when missing.
+  const Value& operator[](const std::string& key) const;
+  /// List element access (bounds-checked; shared null when out of range).
+  const Value& At(size_t index) const;
+
+  size_t size() const;
+
+  /// Appends the wire encoding of this value to `*dst`.
+  void EncodeTo(std::string* dst) const;
+  /// Parses a value from the front of `*in`. Returns false on malformed input.
+  bool DecodeFrom(std::string_view* in);
+
+  std::string Encode() const {
+    std::string out;
+    EncodeTo(&out);
+    return out;
+  }
+  static Value Decode(std::string_view in) {
+    Value v;
+    v.DecodeFrom(&in);
+    return v;
+  }
+
+  /// Debug rendering (JSON-ish).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, ValueList,
+               ValueMap>
+      v_;
+};
+
+}  // namespace snapper

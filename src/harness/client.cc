@@ -1,0 +1,173 @@
+#include "harness/client.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace snapper::harness {
+
+bool PushPullQueue::Push(TxnRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(request));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool PushPullQueue::Pop(TxnRequest* request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  *request = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void PushPullQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A completed transaction handed back to its client thread.
+struct Completion {
+  TxnResult result;
+  Clock::time_point start;
+  bool is_pact;
+};
+
+/// Unbounded MPSC channel from future continuations to one client thread.
+class CompletionChannel {
+ public:
+  void Push(Completion completion) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(completion));
+    }
+    cv_.notify_one();
+  }
+
+  Completion Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    Completion c = std::move(queue_.front());
+    queue_.pop_front();
+    return c;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> queue_;
+};
+
+}  // namespace
+
+BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
+                     const SubmitFn& submit) {
+  PushPullQueue queue(config.queue_capacity);
+  std::atomic<int> epoch{0};
+  std::atomic<bool> stop{false};
+
+  // Producer: keeps the queue full (§5.1.2).
+  std::thread producer([&] {
+    Rng rng(config.seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!queue.Push(generate(rng))) return;
+    }
+  });
+
+  // metrics[client][epoch], merged after the run.
+  std::vector<std::vector<EpochMetrics>> metrics(config.num_clients);
+  for (auto& m : metrics) m.resize(static_cast<size_t>(config.num_epochs));
+
+  std::vector<std::thread> clients;
+  clients.reserve(config.num_clients);
+  for (size_t c = 0; c < config.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      CompletionChannel completions;
+      size_t in_flight = 0;
+
+      auto submit_one = [&]() -> bool {
+        TxnRequest request;
+        if (!queue.Pop(&request)) return false;
+        const bool is_pact = request.mode == TxnMode::kPact;
+        const auto start = Clock::now();
+        Future<TxnResult> future = submit(std::move(request));
+        future.OnReady([&completions, future, start, is_pact]() {
+          completions.Push(Completion{future.Peek(), start, is_pact});
+        });
+        in_flight++;
+        return true;
+      };
+
+      for (size_t i = 0; i < config.pipeline; ++i) {
+        if (!submit_one()) break;
+      }
+      while (in_flight > 0) {
+        Completion done = completions.Pop();
+        in_flight--;
+        const int e = epoch.load(std::memory_order_relaxed);
+        if (e >= 0 && e < config.num_epochs) {
+          const auto latency =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - done.start)
+                  .count();
+          metrics[c][static_cast<size_t>(e)].Record(
+              done.is_pact, done.result, static_cast<uint64_t>(latency));
+        }
+        if (!stop.load(std::memory_order_relaxed)) submit_one();
+      }
+    });
+  }
+
+  // Epoch clock.
+  for (int e = 0; e < config.num_epochs; ++e) {
+    epoch.store(e);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.epoch_seconds));
+  }
+  epoch.store(config.num_epochs);  // late completions fall outside
+  stop.store(true);
+  queue.Close();
+  producer.join();
+  for (auto& t : clients) t.join();
+
+  BenchResult result;
+  result.seconds_measured = config.measured_seconds();
+  for (size_t c = 0; c < config.num_clients; ++c) {
+    for (int e = 0; e < config.num_epochs; ++e) {
+      if (e >= config.warmup_epochs) {
+        result.totals.Merge(metrics[c][static_cast<size_t>(e)]);
+      }
+      result.all_epochs.Merge(metrics[c][static_cast<size_t>(e)]);
+    }
+  }
+  return result;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+}  // namespace snapper::harness

@@ -1,0 +1,84 @@
+// Client harness reproducing the paper's setup (§5.1.2-§5.1.3): a producer
+// thread generates transactions into a bounded push-pull queue; client
+// threads pull and keep a fixed pipeline of asynchronous transactions in
+// flight, replenishing on every completion. Runs are split into fixed-length
+// epochs with the first ones discarded as warm-up; metrics cover committed
+// transactions only (processing latency, not queueing latency).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "actor/actor.h"
+#include "common/rng.h"
+#include "common/value.h"
+#include "harness/metrics.h"
+#include "snapper/txn_types.h"
+
+namespace snapper::harness {
+
+/// One generated transaction.
+struct TxnRequest {
+  ActorId root;
+  std::string method;
+  Value input;
+  ActorAccessInfo info;  ///< pre-declared accesses (PACT submissions only)
+  TxnMode mode = TxnMode::kPact;
+};
+
+/// Generates the workload stream (runs on the producer thread).
+using GeneratorFn = std::function<TxnRequest(Rng&)>;
+
+/// Submits a request to the system under test.
+using SubmitFn = std::function<Future<TxnResult>(TxnRequest)>;
+
+struct ClientConfig {
+  size_t num_clients = 2;
+  size_t pipeline = 64;  ///< in-flight transactions per client (Fig. 11b)
+  double epoch_seconds = 2.0;
+  int num_epochs = 6;     ///< paper: 6 (§5.1.3)
+  int warmup_epochs = 2;  ///< paper: 2
+  uint64_t seed = 1234;
+  size_t queue_capacity = 8192;
+
+  double measured_seconds() const {
+    return epoch_seconds * (num_epochs - warmup_epochs);
+  }
+};
+
+/// Bounded blocking MPMC queue for TxnRequests (the push-pull queue).
+class PushPullQueue {
+ public:
+  explicit PushPullQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full; returns false if closed.
+  bool Push(TxnRequest request);
+  /// Blocks while empty; returns false if closed and drained.
+  bool Pop(TxnRequest* request);
+  void Close();
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<TxnRequest> queue_;
+  bool closed_ = false;
+};
+
+/// Runs the benchmark: spawns the producer and `config.num_clients` client
+/// threads, runs the epoch clock, and returns merged post-warm-up metrics.
+BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
+                     const SubmitFn& submit);
+
+/// Reads an environment override for bench scale knobs, e.g.
+/// EnvDouble("SNAPPER_EPOCH_SECONDS", 2.0). Lets CI run short epochs while
+/// full paper-scale runs set the env.
+double EnvDouble(const char* name, double fallback);
+int EnvInt(const char* name, int fallback);
+
+}  // namespace snapper::harness

@@ -1,0 +1,53 @@
+#include "harness/metrics.h"
+
+#include <cstdio>
+
+namespace snapper::harness {
+
+void EpochMetrics::Record(bool is_pact, const TxnResult& result,
+                          uint64_t latency_us) {
+  if (result.ok()) {
+    committed++;
+    (is_pact ? committed_pact : committed_act)++;
+    latency.Record(latency_us);
+    (is_pact ? pact_latency : act_latency).Record(latency_us);
+    start_us.Record(result.timings.start_us);
+    exec_us.Record(result.timings.exec_us);
+    commit_us.Record(result.timings.commit_us);
+  } else {
+    aborted++;
+    const int reason = static_cast<int>(result.status.abort_reason());
+    if (reason >= 0 && reason < static_cast<int>(abort_reasons.size())) {
+      abort_reasons[static_cast<size_t>(reason)]++;
+    }
+  }
+}
+
+void EpochMetrics::Merge(const EpochMetrics& other) {
+  committed += other.committed;
+  committed_pact += other.committed_pact;
+  committed_act += other.committed_act;
+  aborted += other.aborted;
+  for (size_t i = 0; i < abort_reasons.size(); ++i) {
+    abort_reasons[i] += other.abort_reasons[i];
+  }
+  latency.Merge(other.latency);
+  pact_latency.Merge(other.pact_latency);
+  act_latency.Merge(other.act_latency);
+  start_us.Merge(other.start_us);
+  exec_us.Merge(other.exec_us);
+  commit_us.Merge(other.commit_us);
+}
+
+std::string BenchResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tps=%.0f abort=%.1f%% p50=%.1fms p90=%.1fms p99=%.1fms",
+                Throughput(), AbortRate() * 100,
+                totals.latency.Quantile(0.5) / 1000.0,
+                totals.latency.Quantile(0.9) / 1000.0,
+                totals.latency.Quantile(0.99) / 1000.0);
+  return buf;
+}
+
+}  // namespace snapper::harness

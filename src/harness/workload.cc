@@ -1,0 +1,127 @@
+#include "harness/workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/smallbank_logic.h"
+
+namespace snapper::harness {
+
+namespace {
+
+/// Samples `count` distinct actor keys under the configured distribution.
+class ActorSampler {
+ public:
+  explicit ActorSampler(const SmallBankWorkloadConfig& config)
+      : config_(config) {
+    if (config.distribution == Distribution::kZipf) {
+      zipf_ = std::make_unique<ZipfGenerator>(config.zipf_s,
+                                              config.num_actors);
+    } else if (config.distribution == Distribution::kHotspot) {
+      hotspot_ = std::make_unique<HotspotGenerator>(
+          config.num_actors, config.hot_fraction, /*hot_probability=*/0.9);
+    }
+  }
+
+  std::vector<uint64_t> SampleDistinct(Rng& rng, int count) const {
+    std::vector<uint64_t> out;
+    out.reserve(static_cast<size_t>(count));
+    // Hotspot (§5.4.1): `hot_accesses` of the actors come from the hot set,
+    // the remainder from the cold set.
+    int hot_left = config_.distribution == Distribution::kHotspot
+                       ? std::min(config_.hot_accesses, count)
+                       : 0;
+    while (static_cast<int>(out.size()) < count) {
+      uint64_t key;
+      if (config_.distribution == Distribution::kHotspot) {
+        key = static_cast<int>(out.size()) < hot_left
+                  ? hotspot_->SampleHot(rng)
+                  : hotspot_->SampleCold(rng);
+      } else if (config_.distribution == Distribution::kZipf) {
+        key = zipf_->Sample(rng);
+      } else {
+        key = rng.Uniform(config_.num_actors);
+      }
+      if (std::find(out.begin(), out.end(), key) == out.end()) {
+        out.push_back(key);
+      }
+    }
+    return out;
+  }
+
+ private:
+  SmallBankWorkloadConfig config_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::unique_ptr<HotspotGenerator> hotspot_;
+};
+
+}  // namespace
+
+GeneratorFn MakeSmallBankGenerator(SmallBankWorkloadConfig config) {
+  auto sampler = std::make_shared<ActorSampler>(config);
+  return [config, sampler](Rng& rng) -> TxnRequest {
+    std::vector<uint64_t> actors =
+        sampler->SampleDistinct(rng, config.txn_size);
+    if (config.deadlock_free) {
+      std::sort(actors.begin(), actors.end());
+    }
+    const uint64_t from = actors[0];
+    const int num_rw = config.txn_size - 1 - config.noop_accesses;
+    std::vector<uint64_t> rw(actors.begin() + 1,
+                             actors.begin() + 1 + std::max(num_rw, 0));
+    std::vector<uint64_t> noop(actors.begin() + 1 + std::max(num_rw, 0),
+                               actors.end());
+
+    TxnRequest request;
+    request.root = ActorId{config.actor_type, from};
+    request.mode = rng.Bernoulli(config.pact_fraction) ? TxnMode::kPact
+                                                       : TxnMode::kAct;
+    if (config.noop_accesses > 0) {
+      request.method = "MultiTransferMixed";
+      request.input =
+          smallbank::MultiTransferMixedInput(config.amount, rw, noop);
+    } else if (config.deadlock_free) {
+      request.method = "MultiTransferOrdered";
+      request.input = smallbank::MultiTransferInput(config.amount, rw);
+    } else {
+      request.method = "MultiTransfer";
+      request.input = smallbank::MultiTransferInput(config.amount, rw);
+    }
+    // Access info covers every touched actor (no-op targets included: they
+    // are grain calls and must be scheduled, they just skip GetState).
+    request.info[request.root] += 1;
+    for (uint64_t k : rw) {
+      request.info[ActorId{config.actor_type, k}] += 1;
+    }
+    for (uint64_t k : noop) {
+      request.info[ActorId{config.actor_type, k}] += 1;
+    }
+    return request;
+  };
+}
+
+GeneratorFn MakeTpccGenerator(TpccWorkloadConfig config) {
+  std::shared_ptr<ZipfGenerator> zipf;
+  if (config.distribution == Distribution::kZipf) {
+    zipf = std::make_shared<ZipfGenerator>(config.zipf_s,
+                                           config.layout.num_warehouses);
+  }
+  auto pick_warehouse = [config, zipf](Rng& rng) -> uint64_t {
+    if (zipf) return zipf->Sample(rng);
+    return rng.Uniform(config.layout.num_warehouses);
+  };
+  return [config, pick_warehouse](Rng& rng) -> TxnRequest {
+    tpcc::NewOrderRequest order =
+        tpcc::MakeNewOrder(config.types, config.layout, rng, pick_warehouse);
+    TxnRequest request;
+    request.root = order.root;
+    request.method = "NewOrder";
+    request.input = std::move(order.input);
+    request.info = std::move(order.info);
+    request.mode = rng.Bernoulli(config.pact_fraction) ? TxnMode::kPact
+                                                       : TxnMode::kAct;
+    return request;
+  };
+}
+
+}  // namespace snapper::harness

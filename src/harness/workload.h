@@ -1,0 +1,47 @@
+// Workload generators for the bench harness: SmallBank MultiTransfer under
+// the paper's access distributions (uniform / zipf / hotspot, §5.1.1,
+// §5.4.1) and TPC-C NewOrder (§5.4.2), each emitting PACTs and ACTs in a
+// configurable ratio (the PACT% dimension of Fig. 16).
+#pragma once
+
+#include "common/rng.h"
+#include "harness/client.h"
+#include "workloads/tpcc.h"
+
+namespace snapper::harness {
+
+enum class Distribution { kUniform, kZipf, kHotspot };
+
+struct SmallBankWorkloadConfig {
+  uint32_t actor_type = 0;
+  uint64_t num_actors = 10000;  ///< paper: 10K actors on a 4-core silo
+  int txn_size = 4;             ///< actors per MultiTransfer (§5.2.1)
+  double amount = 1.0;
+  double pact_fraction = 1.0;   ///< PACT% (1.0 = pure PACT, 0.0 = pure ACT)
+  Distribution distribution = Distribution::kUniform;
+  double zipf_s = 0.9;
+  double hot_fraction = 0.01;   ///< §5.4.1: 1% of actors form the hot set
+  int hot_accesses = 3;         ///< §5.4.1: 3 accesses per txn in the hot set
+  /// Deadlock-free variant (§5.2.2): sequential deposits in ascending actor
+  /// order with the smallest actor as root.
+  bool deadlock_free = false;
+  /// Fig. 12/15 microbench shape: make `noop_accesses` of the targets no-op
+  /// grain calls instead of read-write deposits (0 = plain MultiTransfer).
+  int noop_accesses = 0;
+};
+
+/// Returns a generator producing SmallBank MultiTransfer requests.
+GeneratorFn MakeSmallBankGenerator(SmallBankWorkloadConfig config);
+
+struct TpccWorkloadConfig {
+  tpcc::TpccTypes types;
+  tpcc::TpccLayout layout;
+  double pact_fraction = 1.0;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_s = 0.9;  ///< skew over home warehouses when kZipf
+};
+
+/// Returns a generator producing TPC-C NewOrder requests.
+GeneratorFn MakeTpccGenerator(TpccWorkloadConfig config);
+
+}  // namespace snapper::harness

@@ -1,0 +1,424 @@
+#include "otxn/otxn_runtime.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "async/timer.h"
+#include "wal/log_format.h"
+
+namespace snapper::otxn {
+
+namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+TimePoint Now() { return std::chrono::steady_clock::now(); }
+uint32_t MicrosBetween(TimePoint from, TimePoint to) {
+  return static_cast<uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TransactionAgent
+// ---------------------------------------------------------------------------
+
+uint64_t TransactionAgent::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tid_++;
+}
+
+Future<Status> TransactionAgent::WaitDecided(uint64_t tid) {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = decided_.find(tid);
+    if (it == decided_.end()) {
+      waiters_[tid].push_back(std::move(promise));
+      return future;
+    }
+    if (it->second == State::kCommitted) {
+      promise.TrySet(Status::OK());
+    } else {
+      promise.TrySet(Status::TxnAborted(AbortReason::kEarlyLockRelease,
+                                        "dependency aborted"));
+    }
+  }
+  return future;
+}
+
+void TransactionAgent::NotifyCommitted(uint64_t tid) {
+  std::vector<Promise<Status>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decided_[tid] = State::kCommitted;
+    auto it = waiters_.find(tid);
+    if (it != waiters_.end()) {
+      waiters = std::move(it->second);
+      waiters_.erase(it);
+    }
+  }
+  for (auto& p : waiters) p.TrySet(Status::OK());
+}
+
+void TransactionAgent::NotifyAborted(uint64_t tid) {
+  std::vector<Promise<Status>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decided_[tid] = State::kAborted;
+    auto it = waiters_.find(tid);
+    if (it != waiters_.end()) {
+      waiters = std::move(it->second);
+      waiters_.erase(it);
+    }
+  }
+  const Status aborted =
+      Status::TxnAborted(AbortReason::kEarlyLockRelease, "dependency aborted");
+  for (auto& p : waiters) p.TrySet(aborted);
+}
+
+uint64_t TransactionAgent::num_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tid_ - 1;
+}
+
+// ---------------------------------------------------------------------------
+// OtxnActor
+// ---------------------------------------------------------------------------
+
+OtxnRuntime& OtxnActor::ortx() const {
+  return *static_cast<OtxnRuntime*>(runtime().app_context());
+}
+
+void OtxnActor::OnActivate() { state_ = InitialState(); }
+
+Task<Value*> OtxnActor::GetState(TxnContext& ctx, AccessMode mode) {
+  auto& rt = ortx();
+  if (IsTombstoned(ctx.tid)) {
+    throw TxnAbort(Status::TxnAborted(AbortReason::kCascading,
+                                      "transaction already aborted"));
+  }
+  // 2PL with timeout-based deadlock handling (§5.2.2: OrleansTxn uses a
+  // timeout mechanism, not wait-die).
+  Status s = co_await AwaitStatusWithTimeout(runtime().timers(),
+                                             lock_.Acquire(ctx.tid, mode),
+                                             rt.config().lock_wait_timeout);
+  if (s.IsTimedOut()) {
+    throw TxnAbort(Status::TxnAborted(AbortReason::kActActConflict,
+                                      "lock wait timed out"));
+  }
+  if (!s.ok()) throw TxnAbort(s);
+
+  // Early lock release left dirty, uncommitted data in state_: pick up
+  // commit dependencies on those writers.
+  for (const auto& w : write_stack_) {
+    if (w.tid != ctx.tid) ctx.info->AddDependency(w.tid);
+  }
+  if (mode == AccessMode::kReadWrite && wrote_.insert(ctx.tid).second) {
+    write_stack_.push_back(DirtyWrite{ctx.tid, state_});
+    ctx.info->MarkWrote(id());
+  }
+  co_return &state_;
+}
+
+Task<Value> OtxnActor::CallActor(TxnContext& ctx, const ActorId& target,
+                                 FuncCall call) {
+  // Issue-time registration: an abort must reach actors whose invocations
+  // are still in flight (their tombstones then reject the late arrival).
+  ctx.info->RegisterParticipant(target);
+  if (target == id()) {
+    co_return co_await InvokeTxn(ctx, std::move(call));
+  }
+  auto future = runtime().Call<OtxnActor>(
+      target, [ctx, call = std::move(call)](OtxnActor& callee) mutable {
+        return callee.InvokeTxn(ctx, std::move(call));
+      });
+  co_return co_await future;
+}
+
+Future<Value> OtxnActor::CallActorAsync(TxnContext& ctx, const ActorId& target,
+                                        FuncCall call) {
+  ctx.info->RegisterParticipant(target);  // see CallActor
+  if (target == id()) {
+    return InvokeTxn(ctx, std::move(call)).Start(strand());
+  }
+  return runtime().Call<OtxnActor>(
+      target, [ctx, call = std::move(call)](OtxnActor& callee) mutable {
+        return callee.InvokeTxn(ctx, std::move(call));
+      });
+}
+
+Task<Value> OtxnActor::InvokeTxn(TxnContext ctx, FuncCall call) {
+  auto method = methods_.find(call.method);
+  if (method == methods_.end()) {
+    throw TxnAbort(Status::InvalidArgument("unknown method: " + call.method));
+  }
+  if (IsTombstoned(ctx.tid)) {
+    throw TxnAbort(Status::TxnAborted(AbortReason::kCascading,
+                                      "transaction already aborted"));
+  }
+  ctx.info->RegisterParticipant(id());
+  txn_local_[ctx.tid].active++;
+  Value result;
+  std::exception_ptr error;
+  try {
+    result = co_await method->second(ctx, std::move(call.input));
+  } catch (...) {
+    error = std::current_exception();
+  }
+  auto it = txn_local_.find(ctx.tid);
+  if (it != txn_local_.end()) {
+    it->second.active--;
+    if (it->second.abort_pending && it->second.active <= 0) {
+      DoAbortLocal(ctx.tid);
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+  co_return result;
+}
+
+Task<bool> OtxnActor::Prepare(uint64_t tid) {
+  // Early lock release: locks drop before the commit decision is durable.
+  lock_.Release(tid);
+  auto& rt = ortx();
+  if (rt.log_manager().enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActPrepare;
+    record.id = tid;
+    record.actor = id();
+    if (wrote_.count(tid) > 0) record.state = state_.Encode();
+    Status ls = co_await rt.log_manager().LoggerFor(id()).Append(record);
+    if (!ls.ok()) co_return false;
+  }
+  co_return true;
+}
+
+Task<void> OtxnActor::Commit(uint64_t tid) {
+  for (auto it = write_stack_.begin(); it != write_stack_.end(); ++it) {
+    if (it->tid == tid) {
+      write_stack_.erase(it);
+      break;
+    }
+  }
+  wrote_.erase(tid);
+  txn_local_.erase(tid);
+  lock_.Release(tid);  // defensive; normally released at Prepare
+  auto& rt = ortx();
+  if (rt.log_manager().enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActCommit;
+    record.id = tid;
+    record.actor = id();
+    rt.log_manager().LoggerFor(id()).Append(std::move(record));
+  }
+  co_return;
+}
+
+Task<void> OtxnActor::Abort(uint64_t tid) {
+  Tombstone(tid);
+  auto it = txn_local_.find(tid);
+  if (it != txn_local_.end() && it->second.active > 0) {
+    it->second.abort_pending = true;  // rollback deferred until it unwinds
+    co_return;
+  }
+  DoAbortLocal(tid);
+  co_return;
+}
+
+void OtxnActor::Tombstone(uint64_t tid) {
+  if (aborted_txns_.insert(tid).second) {
+    aborted_txns_fifo_.push_back(tid);
+    if (aborted_txns_fifo_.size() > kMaxTombstones) {
+      aborted_txns_.erase(aborted_txns_fifo_.front());
+      aborted_txns_fifo_.pop_front();
+    }
+  }
+}
+
+void OtxnActor::DoAbortLocal(uint64_t tid) {
+  for (size_t i = 0; i < write_stack_.size(); ++i) {
+    if (write_stack_[i].tid != tid) continue;
+    // Roll back to this writer's before-image; every later entry belongs to
+    // a dependent that the TA cascades an abort to as well.
+    state_ = write_stack_[i].before_image;
+    for (size_t j = i; j < write_stack_.size(); ++j) {
+      wrote_.erase(write_stack_[j].tid);
+    }
+    write_stack_.resize(i);
+    break;
+  }
+  wrote_.erase(tid);
+  txn_local_.erase(tid);
+  lock_.Release(tid);
+}
+
+// ---------------------------------------------------------------------------
+// OtxnRuntime
+// ---------------------------------------------------------------------------
+
+OtxnRuntime::OtxnRuntime(OtxnConfig config, Env* env) : config_(config) {
+  if (env == nullptr) {
+    owned_env_ = std::make_unique<MemEnv>();
+    env = owned_env_.get();
+  }
+  env_ = env;
+  ActorRuntime::Options options;
+  options.num_workers = config.num_workers;
+  options.seed = config.seed;
+  runtime_ = std::make_unique<ActorRuntime>(options);
+  log_manager_ = std::make_unique<LogManager>(
+      LogManager::Options{.num_loggers = config.num_loggers,
+                          .enable_logging = config.enable_logging},
+      env_, &runtime_->executor());
+  runtime_->set_app_context(this);
+  ta_strand_ = runtime_->NewStrand();
+}
+
+OtxnRuntime::~OtxnRuntime() { Shutdown(); }
+
+void OtxnRuntime::Shutdown() { runtime_->Shutdown(); }
+
+uint32_t OtxnRuntime::RegisterActorType(
+    std::string name,
+    std::function<std::shared_ptr<OtxnActor>(uint64_t)> factory) {
+  return runtime_->RegisterType(
+      std::move(name),
+      [factory = std::move(factory)](uint64_t key)
+          -> std::shared_ptr<ActorBase> { return factory(key); });
+}
+
+Future<TxnResult> OtxnRuntime::Submit(const ActorId& first, std::string method,
+                                      Value input) {
+  FuncCall call{std::move(method), std::move(input)};
+  auto task = RunTxn(first, std::move(call));
+  return task.Start(*ta_strand_);
+}
+
+Task<TxnResult> OtxnRuntime::RunTxn(ActorId first, FuncCall call) {
+  TxnResult out;
+  const TimePoint t0 = Now();
+
+  // I2: the TA assigns the tid (an in-memory call, like Orleans' TA).
+  TxnContext ctx;
+  ctx.tid = agent_.Begin();
+  ctx.mode = TxnMode::kAct;
+  ctx.root_actor = first;
+  ctx.info = std::make_shared<SharedTxnInfo>();
+  const TimePoint t1 = Now();
+  out.timings.start_us = MicrosBetween(t0, t1);
+
+  Value result;
+  Status failure;
+  try {
+    auto exec_future = runtime_->Call<OtxnActor>(
+        first, [ctx, call = std::move(call)](OtxnActor& a) mutable {
+          return a.InvokeTxn(ctx, std::move(call));
+        });
+    result = co_await exec_future;
+  } catch (...) {
+    failure = StatusFromExceptionPtr(std::current_exception());
+  }
+  const TimePoint t2 = Now();
+  out.timings.exec_us = MicrosBetween(t1, t2);
+
+  const TxnExeInfo info = ctx.info->Snapshot();
+
+  if (failure.ok()) {
+    // Early-lock-release dependencies must commit first; an aborted
+    // dependency cascades (the price of ELR, §1).
+    for (uint64_t dep : ctx.info->Dependencies()) {
+      auto decided = agent_.WaitDecided(dep);
+      Status s = co_await decided;
+      if (!s.ok()) {
+        failure = s;
+        break;
+      }
+    }
+  }
+
+  if (failure.ok()) {
+    // TA-coordinated 2PC: unlike Snapper's ACT, even the first accessed
+    // actor pays Prepare/Commit messages (§5.2.3).
+    if (log_manager_->enabled()) {
+      LogRecord record;
+      record.type = LogRecordType::kActCoordPrepare;
+      record.id = ctx.tid;
+      for (const auto& [actor, _] : info.participants) {
+        record.participants.push_back(actor);
+      }
+      Status ls = co_await log_manager_->LoggerForCoordinator(0).Append(record);
+      if (!ls.ok()) {
+        failure = Status::TxnAborted(AbortReason::kSystemFailure,
+                                     "CoordPrepare log failed");
+      }
+    }
+  }
+
+  if (failure.ok()) {
+    std::vector<Future<bool>> votes;
+    for (const auto& [actor, _] : info.participants) {
+      counters_.act_prepares.fetch_add(1);
+      votes.push_back(runtime_->Call<OtxnActor>(
+          actor, [tid = ctx.tid](OtxnActor& a) { return a.Prepare(tid); }));
+    }
+    bool all_yes = true;
+    for (auto& vote : votes) {
+      try {
+        all_yes = (co_await vote) && all_yes;
+      } catch (...) {
+        all_yes = false;
+      }
+    }
+    if (!all_yes) {
+      failure = Status::TxnAborted(AbortReason::kCascading,
+                                   "participant voted no");
+    }
+  }
+
+  if (failure.ok() && log_manager_->enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActCoordCommit;
+    record.id = ctx.tid;
+    Status ls = co_await log_manager_->LoggerForCoordinator(0).Append(record);
+    if (!ls.ok()) {
+      failure = Status::TxnAborted(AbortReason::kSystemFailure,
+                                   "CoordCommit log failed");
+    }
+  }
+
+  if (failure.ok()) {
+    agent_.NotifyCommitted(ctx.tid);
+    std::vector<Future<void>> acks;
+    for (const auto& [actor, _] : info.participants) {
+      counters_.act_commits.fetch_add(1);
+      acks.push_back(runtime_->Call<OtxnActor>(
+          actor, [tid = ctx.tid](OtxnActor& a) { return a.Commit(tid); }));
+    }
+    for (auto& ack : acks) co_await ack;
+    out.timings.commit_us = MicrosBetween(t2, Now());
+    out.value = std::move(result);
+    co_return out;
+  }
+
+  // Presumed abort + cascade cleanup.
+  agent_.NotifyAborted(ctx.tid);
+  std::vector<Future<void>> acks;
+  for (const auto& [actor, _] : info.participants) {
+    counters_.act_aborts.fetch_add(1);
+    acks.push_back(runtime_->Call<OtxnActor>(
+        actor, [tid = ctx.tid](OtxnActor& a) { return a.Abort(tid); }));
+  }
+  for (auto& ack : acks) {
+    try {
+      co_await ack;
+    } catch (...) {
+    }
+  }
+  out.timings.commit_us = MicrosBetween(t2, Now());
+  out.status = failure;
+  co_return out;
+}
+
+}  // namespace snapper::otxn

@@ -1,0 +1,181 @@
+// OrleansTxn-style baseline: the comparator the paper benchmarks Snapper's
+// ACT mode against (§5.2.2-§5.2.3). It reproduces the protocol stack of
+// Orleans Transactions as the paper characterizes it:
+//   * a TransactionAgent (TA) — an in-memory singleton — assigns tids and
+//     acts as the 2PC coordinator, so even the first accessed actor pays a
+//     Prepare message (Fig. 15's I8 discussion);
+//   * per-actor 2PL with lock-wait *timeouts* for deadlocks (no wait-die);
+//   * early lock release: locks drop when Prepare arrives, *before* the
+//     commit decision is durable; readers of dirty data acquire commit
+//     dependencies, and an aborting writer cascades into its dependents;
+//   * participants persist Prepare (with state) and Commit records, the TA
+//     persists CoordPrepare/CoordCommit — same logger substrate as Snapper.
+//
+// Workload code written against Snapper's TransactionalActor API runs
+// unchanged on OtxnActor (same method registry, GetState, CallActor).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "actor/actor.h"
+#include "async/task.h"
+#include "common/value.h"
+#include "snapper/lock_table.h"
+#include "snapper/txn_types.h"
+#include "wal/logger.h"
+
+namespace snapper::otxn {
+
+struct OtxnConfig {
+  size_t num_workers = 4;
+  size_t num_loggers = 4;
+  bool enable_logging = true;
+  /// Lock-wait timeout: the baseline's deadlock mechanism (§5.2.2). Short
+  /// enough that a deadlock costs one stall, not a whole bench epoch.
+  std::chrono::milliseconds lock_wait_timeout{150};
+  uint64_t seed = 42;
+};
+
+/// The TA: tid assignment plus the commit-status table that early lock
+/// release depends on.
+class TransactionAgent {
+ public:
+  uint64_t Begin();
+
+  /// Resolves OK once `tid` committed, or TxnAborted(kEarlyLockRelease) if
+  /// it aborted — used by dependents before their own commit.
+  Future<Status> WaitDecided(uint64_t tid);
+
+  void NotifyCommitted(uint64_t tid);
+  void NotifyAborted(uint64_t tid);
+
+  uint64_t num_started() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_tid_ = 1;
+  enum class State { kCommitted, kAborted };
+  std::unordered_map<uint64_t, State> decided_;
+  std::unordered_map<uint64_t, std::vector<Promise<Status>>> waiters_;
+};
+
+class OtxnRuntime;
+
+/// Base class for user actors under the OrleansTxn baseline. API mirrors
+/// snapper::TransactionalActor so workload templates instantiate over both.
+class OtxnActor : public ActorBase {
+ public:
+  using Method = std::function<Task<Value>(TxnContext&, Value)>;
+
+  Task<Value*> GetState(TxnContext& ctx, AccessMode mode);
+  Task<Value> CallActor(TxnContext& ctx, const ActorId& target, FuncCall call);
+  Future<Value> CallActorAsync(TxnContext& ctx, const ActorId& target,
+                               FuncCall call);
+
+  Task<Value> InvokeTxn(TxnContext ctx, FuncCall call);
+
+  /// 2PC participant surface, driven by the TA.
+  Task<bool> Prepare(uint64_t tid);
+  Task<void> Commit(uint64_t tid);
+  Task<void> Abort(uint64_t tid);
+
+  void OnActivate() override;
+
+  const Value& state_for_test() const { return state_; }
+
+ protected:
+  void RegisterMethod(std::string name, Method method) {
+    methods_[std::move(name)] = std::move(method);
+  }
+  virtual Value InitialState() const { return Value(); }
+
+ private:
+  friend class OtxnRuntime;
+  OtxnRuntime& ortx() const;
+
+  Value state_;
+  // No wait-die: conflicting requests queue; timeouts break deadlocks.
+  ActorLock lock_{/*wait_die=*/false};
+  std::map<std::string, Method> methods_;
+
+  /// Early-lock-release dirty-write stack: uncommitted writers in write
+  /// order. An abort of entry i rolls back to its before-image and discards
+  /// all later (dependent) entries.
+  struct DirtyWrite {
+    uint64_t tid;
+    Value before_image;
+  };
+  std::vector<DirtyWrite> write_stack_;
+  std::set<uint64_t> wrote_;  ///< tids that wrote this actor (for Prepare).
+
+  /// Same hazards as Snapper's ACT participants: a late invocation of an
+  /// already-aborted tid must not re-acquire locks, and an abort racing a
+  /// still-running invocation must defer its rollback.
+  struct TxnLocal {
+    int active = 0;
+    bool abort_pending = false;
+  };
+  std::map<uint64_t, TxnLocal> txn_local_;
+  std::set<uint64_t> aborted_txns_;
+  std::deque<uint64_t> aborted_txns_fifo_;
+  static constexpr size_t kMaxTombstones = 1 << 16;
+  void Tombstone(uint64_t tid);
+  bool IsTombstoned(uint64_t tid) const {
+    return aborted_txns_.count(tid) > 0;
+  }
+  void DoAbortLocal(uint64_t tid);
+};
+
+/// Facade: owns the actor runtime, loggers, and the TA.
+class OtxnRuntime {
+ public:
+  explicit OtxnRuntime(OtxnConfig config, Env* env = nullptr);
+  ~OtxnRuntime();
+
+  OtxnRuntime(const OtxnRuntime&) = delete;
+  OtxnRuntime& operator=(const OtxnRuntime&) = delete;
+
+  uint32_t RegisterActorType(
+      std::string name,
+      std::function<std::shared_ptr<OtxnActor>(uint64_t key)> factory);
+
+  /// Submits a transaction; the TA assigns the tid and coordinates 2PC.
+  Future<TxnResult> Submit(const ActorId& first, std::string method,
+                           Value input);
+
+  TxnResult Run(const ActorId& first, const std::string& method, Value input) {
+    return Submit(first, std::move(method), std::move(input)).Get();
+  }
+
+  ActorRuntime& runtime() { return *runtime_; }
+  TransactionAgent& agent() { return agent_; }
+  LogManager& log_manager() { return *log_manager_; }
+  const OtxnConfig& config() const { return config_; }
+  MessageCounters& counters() { return counters_; }
+
+  void Shutdown();
+
+ private:
+  friend class OtxnActor;
+  Task<TxnResult> RunTxn(ActorId first, FuncCall call);
+
+  OtxnConfig config_;
+  std::unique_ptr<Env> owned_env_;
+  Env* env_;
+  std::unique_ptr<ActorRuntime> runtime_;
+  std::unique_ptr<LogManager> log_manager_;
+  TransactionAgent agent_;
+  MessageCounters counters_;
+  std::shared_ptr<Strand> ta_strand_;
+};
+
+}  // namespace snapper::otxn

@@ -1,0 +1,158 @@
+#include "snapper/commit_sequencer.h"
+
+#include <algorithm>
+
+namespace snapper {
+
+void CommitSequencer::RegisterEmitted(uint64_t bid, uint64_t prev_bid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prev_of_[bid] = prev_bid;
+}
+
+bool CommitSequencer::IsCommittedLocked(uint64_t bid) const {
+  return watermark_ != kNoBid && bid <= watermark_ && aborted_.count(bid) == 0;
+}
+
+bool CommitSequencer::IsCommitted(uint64_t bid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsCommittedLocked(bid);
+}
+
+bool CommitSequencer::IsAborted(uint64_t bid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_.count(bid) > 0;
+}
+
+void CommitSequencer::RequestCommit(uint64_t bid,
+                                    std::function<void(Status)> cb) {
+  Status immediate;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_.count(bid) > 0) {
+      immediate = Status::TxnAborted(AbortReason::kCascading, "batch aborted");
+      fire = true;
+    } else {
+      auto it = prev_of_.find(bid);
+      const uint64_t prev = it == prev_of_.end() ? kNoBid : it->second;
+      if (prev == kNoBid || IsCommittedLocked(prev)) {
+        prev_of_.erase(bid);
+        committing_.insert(bid);  // protected from aborts from here on
+        immediate = Status::OK();
+        fire = true;
+      } else {
+        pending_[bid] = std::move(cb);
+      }
+    }
+  }
+  if (fire) cb(immediate);
+}
+
+void CommitSequencer::MarkCommitted(uint64_t bid) {
+  std::function<void(Status)> successor_cb;
+  std::vector<Promise<Status>> resolved;
+  std::vector<Promise<Unit>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watermark_ = (watermark_ == kNoBid) ? bid : std::max(watermark_, bid);
+    num_committed_++;
+    committing_.erase(bid);
+    prev_of_.erase(bid);  // defensive: normally erased at cb-fire time
+    // Release the (single, linear-chain) successor's pending request.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      auto prev_it = prev_of_.find(it->first);
+      if (prev_it != prev_of_.end() && prev_it->second == bid) {
+        successor_cb = std::move(it->second);
+        prev_of_.erase(prev_it);
+        committing_.insert(it->first);
+        pending_.erase(it);
+        break;
+      }
+    }
+    // Resolve WaitCommitted futures now covered by the watermark.
+    for (auto it = waiters_.begin();
+         it != waiters_.end() && it->first <= watermark_;) {
+      if (aborted_.count(it->first) == 0) {
+        for (auto& p : it->second) resolved.push_back(std::move(p));
+        it = waiters_.erase(it);
+      } else {
+        ++it;  // aborted bids were resolved at abort time; defensive skip
+      }
+    }
+    if (committing_.empty() && !drain_waiters_.empty()) {
+      drained.swap(drain_waiters_);
+    }
+  }
+  for (auto& p : resolved) p.TrySet(Status::OK());
+  if (successor_cb) successor_cb(Status::OK());
+  for (auto& p : drained) p.TrySet(Unit{});
+}
+
+CommitSequencer::AbortOutcome CommitSequencer::BeginAbort(
+    const Status& status) {
+  AbortOutcome outcome;
+  std::vector<std::function<void(Status)>> cbs;
+  std::vector<Promise<Status>> resolved;
+  Promise<Unit> drain;
+  outcome.committing_drained = drain.GetFuture();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [bid, _] : prev_of_) {
+      aborted_.insert(bid);
+      outcome.aborted_bids.push_back(bid);
+      auto w = waiters_.find(bid);
+      if (w != waiters_.end()) {
+        for (auto& p : w->second) resolved.push_back(std::move(p));
+        waiters_.erase(w);
+      }
+    }
+    for (auto& [_, cb] : pending_) cbs.push_back(std::move(cb));
+    pending_.clear();
+    prev_of_.clear();
+    if (committing_.empty()) {
+      drain.TrySet(Unit{});
+    } else {
+      drain_waiters_.push_back(std::move(drain));
+    }
+  }
+  for (auto& p : resolved) p.TrySet(status);
+  for (auto& cb : cbs) cb(status);
+  std::sort(outcome.aborted_bids.begin(), outcome.aborted_bids.end());
+  return outcome;
+}
+
+Future<Status> CommitSequencer::WaitCommitted(uint64_t bid) {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_.count(bid) > 0) {
+      promise.TrySet(Status::TxnAborted(AbortReason::kCascading,
+                                        "dependency batch aborted"));
+      return future;
+    }
+    if (IsCommittedLocked(bid)) {
+      promise.TrySet(Status::OK());
+      return future;
+    }
+    waiters_[bid].push_back(std::move(promise));
+  }
+  return future;
+}
+
+uint64_t CommitSequencer::LastCommittedBid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_;
+}
+
+uint64_t CommitSequencer::num_committed_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_committed_;
+}
+
+uint64_t CommitSequencer::num_aborted_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_.size();
+}
+
+}  // namespace snapper

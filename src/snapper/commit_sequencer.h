@@ -1,0 +1,99 @@
+// CommitSequencer: enforces the paper's bid-ordered batch commitment
+// (§4.2.4). Instead of a dependency graph between batches, Snapper tracks
+// the logical chain "every batch depends on the previously emitted batch"
+// and commits strictly in emission (== bid) order. This object is the
+// shared, thread-safe embodiment of that chain plus the committed/aborted
+// bookkeeping the hybrid path queries:
+//   * ACT commit-waits block until the batch max(BS) commits (§4.4.4);
+//   * the serializability check's incomplete-AfterSet optimization needs
+//     "is max(BS) committed?" (§4.4.3);
+//   * the global abort marks every undecided batch aborted (§4.2.4).
+//
+// Batch lifecycle: emitted -> (commit-eligible cb fired) committing ->
+// committed, or emitted -> aborted. A batch in `committing` (its coordinator
+// is persisting the BatchCommit record) is never aborted: BeginAbort lets it
+// finish and reports a drain future instead — this keeps the durable commit
+// decision and the in-memory abort decision consistent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "async/future.h"
+#include "common/status.h"
+#include "snapper/txn_types.h"
+
+namespace snapper {
+
+class CommitSequencer {
+ public:
+  /// A coordinator formed batch `bid`; `prev_bid` is the batch emitted
+  /// immediately before it system-wide (kNoBid for the chain head / after an
+  /// epoch reset).
+  void RegisterEmitted(uint64_t bid, uint64_t prev_bid);
+
+  /// All BatchComplete acks arrived for `bid`; `cb` fires (possibly inline,
+  /// on an arbitrary thread) with OK once the predecessor has committed —
+  /// at which point `bid` enters the protected `committing` stage — or with
+  /// an abort status if a global abort claims it first. On OK the caller
+  /// logs BatchCommit and then calls MarkCommitted.
+  void RequestCommit(uint64_t bid, std::function<void(Status)> cb);
+
+  /// Batch `bid` is durably committed: advances the watermark, releases the
+  /// successor's pending commit request and any WaitCommitted futures.
+  void MarkCommitted(uint64_t bid);
+
+  struct AbortOutcome {
+    std::vector<uint64_t> aborted_bids;
+    /// Resolves once every batch that was in `committing` when the abort
+    /// began has finished committing. Actors may only be rolled back after
+    /// this drains (so IsCommitted answers are stable).
+    Future<Unit> committing_drained;
+  };
+
+  /// Global abort: every emitted-but-undecided batch becomes aborted;
+  /// pending commit requests and their waiters resolve with `status`;
+  /// batches already committing are spared (see AbortOutcome). The chain
+  /// resets (the next RegisterEmitted uses kNoBid).
+  AbortOutcome BeginAbort(const Status& status);
+
+  bool IsCommitted(uint64_t bid) const;
+  bool IsAborted(uint64_t bid) const;
+
+  /// Resolves OK once `bid` commits, or with TxnAborted(kCascading) if it
+  /// aborts.
+  Future<Status> WaitCommitted(uint64_t bid);
+
+  /// Largest committed bid, or kNoBid if none yet.
+  uint64_t LastCommittedBid() const;
+
+  uint64_t num_committed_batches() const;
+  uint64_t num_aborted_batches() const;
+
+ private:
+  bool IsCommittedLocked(uint64_t bid) const;
+
+  mutable std::mutex mu_;
+  /// Max committed bid; commits happen in bid order, so bid <= watermark_ &&
+  /// !aborted means committed.
+  uint64_t watermark_ = kNoBid;
+  uint64_t num_committed_ = 0;
+  std::unordered_set<uint64_t> aborted_;
+  /// bid -> predecessor bid for emitted, undecided batches.
+  std::unordered_map<uint64_t, uint64_t> prev_of_;
+  /// Batches whose commit callback fired but MarkCommitted hasn't run.
+  std::unordered_set<uint64_t> committing_;
+  /// Pending commit requests: bid -> callback.
+  std::unordered_map<uint64_t, std::function<void(Status)>> pending_;
+  /// WaitCommitted futures keyed by bid (ordered: resolved up to watermark).
+  std::map<uint64_t, std::vector<Promise<Status>>> waiters_;
+  /// Set while an abort waits for `committing_` to drain.
+  std::vector<Promise<Unit>> drain_waiters_;
+};
+
+}  // namespace snapper

@@ -1,0 +1,53 @@
+// Snapper configuration knobs. Defaults follow the paper's single-silo
+// deployment (§5.1.2, Fig. 11a: 4-core base unit with 1 coordinator-actor
+// group, 4 loggers; scaled proportionally with cores).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace snapper {
+
+struct SnapperConfig {
+  /// Worker threads executing actor turns (the silo's "cores").
+  size_t num_workers = 4;
+
+  /// Coordinator actors in the token ring (§4.2.1). Scales with workers in
+  /// the paper's setup.
+  size_t num_coordinators = 4;
+
+  /// Shared logger objects (§4.1.1).
+  size_t num_loggers = 4;
+
+  /// Master switch for WAL writes; disabled for the "CC only" bars of
+  /// Fig. 12.
+  bool enable_logging = true;
+
+  /// Delay before re-passing the token when a coordinator received it and
+  /// had nothing to batch. Keeps an idle ring from burning CPU while barely
+  /// affecting batch formation under load.
+  std::chrono::microseconds idle_token_delay{200};
+
+  /// Minimum time between two batches formed by the same coordinator — the
+  /// epoch length of §4.2.2's epoch-based batching. In the paper the token's
+  /// circulation time over Orleans messaging sets this implicitly (ms
+  /// scale); an in-process ring cycles in microseconds, so without a floor
+  /// batches would hold ~1 PACT and amortize nothing. Trades batch size
+  /// (throughput) against PACT latency.
+  std::chrono::microseconds min_batch_interval{4000};
+
+  /// Timeout that breaks PACT-ACT deadlocks in hybrid execution (§4.4.2):
+  /// applied to every ACT wait (schedule gates, lock waits, commit waits).
+  /// Calibrated well above legitimate wait tails (batch commit ~10-20ms)
+  /// but small enough that recurring hot-actor deadlocks cost milliseconds,
+  /// not epochs.
+  std::chrono::milliseconds act_wait_timeout{150};
+
+  /// Randomized message-delay injection for determinism tests (0 = off).
+  uint32_t max_inject_delay_ms = 0;
+
+  uint64_t seed = 42;
+};
+
+}  // namespace snapper

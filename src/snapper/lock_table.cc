@@ -1,0 +1,131 @@
+#include "snapper/lock_table.h"
+
+#include <algorithm>
+
+namespace snapper {
+
+namespace {
+
+bool ModesConflict(AccessMode a, AccessMode b) {
+  return a == AccessMode::kReadWrite || b == AccessMode::kReadWrite;
+}
+
+}  // namespace
+
+bool ActorLock::CompatibleWithHolders(uint64_t tid, AccessMode mode) const {
+  for (const auto& [holder, held_mode] : holders_) {
+    if (holder == tid) continue;  // self: upgrades checked against others
+    if (ModesConflict(mode, held_mode)) return false;
+  }
+  return true;
+}
+
+bool ActorLock::OlderThanAllConflictingHolders(uint64_t tid,
+                                               AccessMode mode) const {
+  // Wait-die considers everything the requester would wait behind: holders
+  // and already-queued conflicting waiters (queue-waits are waits too; a
+  // younger transaction parked behind an older waiter could otherwise close
+  // a waits-for cycle).
+  for (const auto& [holder, held_mode] : holders_) {
+    if (holder == tid) continue;
+    if (ModesConflict(mode, held_mode) && holder < tid) return false;
+  }
+  for (const auto& w : waiters_) {
+    if (w.tid == tid) continue;
+    if (ModesConflict(mode, w.mode) && w.tid < tid) return false;
+  }
+  return true;
+}
+
+Future<Status> ActorLock::Acquire(uint64_t tid, AccessMode mode) {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+
+  auto held = holders_.find(tid);
+  if (held != holders_.end()) {
+    if (held->second == AccessMode::kReadWrite || mode == AccessMode::kRead) {
+      promise.Set(Status::OK());  // already strong enough
+      return future;
+    }
+    // kRead -> kReadWrite upgrade: falls through to the normal protocol
+    // with self excluded from conflict checks.
+  }
+
+  // Conflicting queued waiters bar immediate grant (no barging past them).
+  bool conflicting_waiter = false;
+  for (const auto& w : waiters_) {
+    if (w.tid != tid && ModesConflict(mode, w.mode)) {
+      conflicting_waiter = true;
+      break;
+    }
+  }
+
+  if (!conflicting_waiter && CompatibleWithHolders(tid, mode)) {
+    holders_[tid] = mode;
+    promise.Set(Status::OK());
+    return future;
+  }
+
+  if (wait_die_ && !OlderThanAllConflictingHolders(tid, mode)) {
+    // Die: a younger transaction never waits for an older one.
+    num_die_aborts_++;
+    promise.Set(Status::TxnAborted(AbortReason::kActActConflict,
+                                   "wait-die: younger requester"));
+    return future;
+  }
+
+  waiters_.push_back(Waiter{tid, mode, std::move(promise)});
+  return future;
+}
+
+void ActorLock::Release(uint64_t tid) {
+  holders_.erase(tid);
+  // Purge any stale queued requests of this transaction (e.g. a timed-out
+  // waiter being cleaned up): granting them later would leak the lock.
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (it->tid == tid) {
+      it->promise.TrySet(
+          Status::TxnAborted(AbortReason::kCascading, "owner released"));
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  GrantEligibleWaiters();
+}
+
+void ActorLock::FailAllWaiters(Status status) {
+  for (auto& w : waiters_) w.promise.TrySet(status);
+  waiters_.clear();
+}
+
+void ActorLock::GrantEligibleWaiters() {
+  // FIFO with read sharing: grant from the front while compatible with
+  // holders and with every still-queued earlier waiter.
+  bool granted_any = true;
+  while (granted_any) {
+    granted_any = false;
+    std::vector<AccessMode> earlier_modes;
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      bool blocked = !CompatibleWithHolders(it->tid, it->mode);
+      if (!blocked) {
+        for (AccessMode m : earlier_modes) {
+          if (ModesConflict(it->mode, m)) {
+            blocked = true;
+            break;
+          }
+        }
+      }
+      if (!blocked) {
+        holders_[it->tid] = it->mode;
+        it->promise.TrySet(Status::OK());
+        waiters_.erase(it);
+        granted_any = true;
+        break;  // restart scan: holder set changed
+      }
+      earlier_modes.push_back(it->mode);
+    }
+  }
+}
+
+}  // namespace snapper

@@ -1,0 +1,119 @@
+// SnapperContext: the shared wiring between Snapper's components on one
+// silo — configuration, the actor runtime, the shared loggers (§4.1.1), the
+// commit sequencer, the global-abort controller, message counters, and the
+// registry of live transactional actors. Owned by SnapperRuntime; reached by
+// actors via ActorRuntime::app_context().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/value.h"
+
+#include "actor/actor.h"
+#include "async/future.h"
+#include "async/task.h"
+#include "snapper/commit_sequencer.h"
+#include "snapper/config.h"
+#include "snapper/txn_types.h"
+#include "wal/logger.h"
+
+namespace snapper {
+
+struct SnapperContext;
+
+/// Orchestrates the cascading abort of §4.2.4: when a PACT aborts, Snapper
+/// "stops emitting new batches ... and simply aborts all uncommitted batches
+/// in the system", resuming emission once the rollback completes. Rounds are
+/// coalesced: concurrent failures join the running round.
+class GlobalAbortController {
+ public:
+  explicit GlobalAbortController(SnapperContext* ctx) : ctx_(ctx) {}
+
+  /// Current abort epoch. Transactions stamp it into their TxnContext;
+  /// invocations from a previous epoch are rejected everywhere.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// True while an abort round is running; coordinators stop forming
+  /// batches and issuing ACT contexts.
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
+  /// A PACT of batch `bid` failed with `cause`. Resolves when a round
+  /// covering `bid` has completed and emission resumed.
+  Future<Unit> RequestAbort(uint64_t bid, const Status& cause);
+
+  uint64_t num_rounds() const { return rounds_.load(); }
+
+ private:
+  Task<void> RoundTask(Status cause);
+  void FinishRound();
+
+  SnapperContext* ctx_;
+  std::mutex mu_;
+  bool running_ = false;
+  std::vector<Promise<Unit>> round_waiters_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> paused_{false};
+  std::atomic<uint64_t> rounds_{0};
+  std::shared_ptr<Strand> strand_;
+};
+
+struct SnapperContext {
+  SnapperConfig config;
+  ActorRuntime* runtime = nullptr;
+  LogManager* log_manager = nullptr;
+  CommitSequencer sequencer;
+  MessageCounters counters;
+  std::unique_ptr<GlobalAbortController> abort_controller;
+
+  /// Actor type id of CoordinatorActor (set by SnapperRuntime).
+  uint32_t coordinator_type = 0;
+
+  ActorId CoordinatorId(uint64_t index) const {
+    return ActorId{coordinator_type, index % config.num_coordinators};
+  }
+
+  /// The coordinator responsible for requests from `actor` ("a simple hash
+  /// function on its own actor ID", §4.1.2).
+  ActorId CoordinatorFor(const ActorId& actor) const {
+    return CoordinatorId(ActorIdHash()(actor));
+  }
+
+  void RegisterTransactionalActor(const ActorId& id) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    transactional_actors_.push_back(id);
+  }
+
+  std::vector<ActorId> TransactionalActors() {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    return transactional_actors_;
+  }
+
+  /// Recovered per-actor states staged by RecoveryManager before Start();
+  /// consumed by each actor on (re-)activation.
+  void StageRecoveredStates(std::map<ActorId, Value> states) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    recovered_states_ = std::move(states);
+  }
+
+  std::optional<Value> TakeRecoveredState(const ActorId& id) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = recovered_states_.find(id);
+    if (it == recovered_states_.end()) return std::nullopt;
+    Value v = std::move(it->second);
+    recovered_states_.erase(it);
+    return v;
+  }
+
+ private:
+  std::mutex registry_mu_;
+  std::vector<ActorId> transactional_actors_;
+  std::map<ActorId, Value> recovered_states_;
+};
+
+}  // namespace snapper

@@ -1,0 +1,198 @@
+#include "snapper/snapper_runtime.h"
+
+#include <cassert>
+
+#include "snapper/coordinator.h"
+
+namespace snapper {
+
+// ---------------------------------------------------------------------------
+// GlobalAbortController
+// ---------------------------------------------------------------------------
+
+Future<Unit> GlobalAbortController::RequestAbort(uint64_t bid,
+                                                 const Status& cause) {
+  Promise<Unit> promise;
+  auto future = promise.GetFuture();
+  bool start_round = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      if (ctx_->sequencer.IsAborted(bid) || ctx_->sequencer.IsCommitted(bid)) {
+        promise.Set(Unit{});  // already decided by a previous round
+        return future;
+      }
+      running_ = true;
+      paused_.store(true, std::memory_order_release);
+      // Bump the epoch before tearing anything down so every in-flight
+      // invocation of the old epoch is rejected from here on.
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      rounds_.fetch_add(1);
+      start_round = true;
+      if (!strand_) strand_ = ctx_->runtime->NewStrand();
+    }
+    round_waiters_.push_back(std::move(promise));
+  }
+  if (start_round) {
+    Status cause_copy = cause;
+    strand_->Post([this, cause_copy]() {
+      RoundTask(cause_copy).StartInline();
+    });
+  }
+  return future;
+}
+
+Task<void> GlobalAbortController::RoundTask(Status cause) {
+  const Status status = Status::TxnAborted(
+      AbortReason::kCascading, "global abort: " + cause.ToString());
+  auto outcome = ctx_->sequencer.BeginAbort(status);
+  // Batches already persisting their commit record finish committing first,
+  // so every actor sees a stable committed/aborted verdict.
+  co_await outcome.committing_drained;
+
+  auto actors = ctx_->TransactionalActors();
+  std::vector<Future<void>> rollbacks;
+  rollbacks.reserve(actors.size());
+  for (const auto& id : actors) {
+    rollbacks.push_back(ctx_->runtime->Call<TransactionalActor>(
+        id, [status](TransactionalActor& a) {
+          return a.AbortUncommitted(status);
+        }));
+  }
+  co_await WhenAll(rollbacks);
+  FinishRound();
+  co_return;
+}
+
+void GlobalAbortController::FinishRound() {
+  std::vector<Promise<Unit>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    paused_.store(false, std::memory_order_release);
+    waiters.swap(round_waiters_);
+  }
+  for (auto& p : waiters) p.TrySet(Unit{});
+}
+
+// ---------------------------------------------------------------------------
+// SnapperRuntime
+// ---------------------------------------------------------------------------
+
+SnapperRuntime::SnapperRuntime(SnapperConfig config, Env* env) {
+  if (env == nullptr) {
+    owned_env_ = std::make_unique<MemEnv>();
+    env = owned_env_.get();
+  }
+  env_ = env;
+
+  ActorRuntime::Options options;
+  options.num_workers = config.num_workers;
+  options.max_inject_delay_ms = config.max_inject_delay_ms;
+  options.seed = config.seed;
+  runtime_ = std::make_unique<ActorRuntime>(options);
+
+  log_manager_ = std::make_unique<LogManager>(
+      LogManager::Options{.num_loggers = config.num_loggers,
+                          .enable_logging = config.enable_logging},
+      env_, &runtime_->executor());
+
+  context_.config = config;
+  context_.runtime = runtime_.get();
+  context_.log_manager = log_manager_.get();
+  context_.abort_controller =
+      std::make_unique<GlobalAbortController>(&context_);
+  runtime_->set_app_context(&context_);
+
+  context_.coordinator_type = runtime_->RegisterType(
+      "SnapperCoordinator", [](uint64_t key) -> std::shared_ptr<ActorBase> {
+        return std::make_shared<CoordinatorActor>(key);
+      });
+}
+
+SnapperRuntime::~SnapperRuntime() { Shutdown(); }
+
+uint32_t SnapperRuntime::RegisterActorType(
+    std::string name,
+    std::function<std::shared_ptr<TransactionalActor>(uint64_t)> factory) {
+  assert(!started_ && "register actor types before Start()");
+  return runtime_->RegisterType(
+      std::move(name),
+      [factory = std::move(factory)](uint64_t key)
+          -> std::shared_ptr<ActorBase> { return factory(key); });
+}
+
+Result<RecoveryResult> SnapperRuntime::Recover() {
+  assert(!started_ && "Recover() must precede Start()");
+  auto result = RecoveryManager::Run(env_);
+  if (!result.ok()) return result;
+  tid_base_ = result.value().max_seen_id + 1;
+
+  // Re-persist every recovered state as a checkpoint before the (lazily
+  // opened, truncating) loggers discard the previous incarnation's log —
+  // otherwise a second crash would lose states recovered from the first.
+  if (log_manager_->enabled()) {
+    std::vector<Future<Status>> appends;
+    for (const auto& [actor, state] : result.value().actor_states) {
+      LogRecord record;
+      record.type = LogRecordType::kCheckpoint;
+      record.actor = actor;
+      record.state = state.Encode();
+      appends.push_back(log_manager_->LoggerFor(actor).Append(record));
+    }
+    for (auto& f : appends) {
+      Status s = f.Get();
+      if (!s.ok()) return s;
+    }
+  }
+
+  context_.StageRecoveredStates(result.value().actor_states);
+  return result;
+}
+
+void SnapperRuntime::Start() {
+  assert(!started_);
+  started_ = true;
+  Token token;
+  token.epoch = context_.abort_controller->epoch();
+  token.next_tid = tid_base_;
+  runtime_->Call<CoordinatorActor>(
+      context_.CoordinatorId(0), [token](CoordinatorActor& c) mutable {
+        return c.ReceiveToken(std::move(token));
+      });
+}
+
+Future<TxnResult> SnapperRuntime::SubmitPact(const ActorId& first,
+                                             std::string method, Value input,
+                                             ActorAccessInfo info) {
+  assert(started_);
+  FuncCall call{std::move(method), std::move(input)};
+  return runtime_->Call<TransactionalActor>(
+      first, [call = std::move(call),
+              info = std::move(info)](TransactionalActor& a) mutable {
+        return a.StartTxn(TxnMode::kPact, std::move(call), std::move(info));
+      });
+}
+
+Future<TxnResult> SnapperRuntime::SubmitAct(const ActorId& first,
+                                            std::string method, Value input) {
+  assert(started_);
+  FuncCall call{std::move(method), std::move(input)};
+  return runtime_->Call<TransactionalActor>(
+      first, [call = std::move(call)](TransactionalActor& a) mutable {
+        return a.StartTxn(TxnMode::kAct, std::move(call), {});
+      });
+}
+
+Future<TxnResult> SnapperRuntime::SubmitNt(const ActorId& first,
+                                           std::string method, Value input) {
+  FuncCall call{std::move(method), std::move(input)};
+  return runtime_->Call<TransactionalActor>(
+      first, [call = std::move(call)](TransactionalActor& a) mutable {
+        return a.StartTxn(TxnMode::kNt, std::move(call), {});
+      });
+}
+
+void SnapperRuntime::Shutdown() { runtime_->Shutdown(); }
+
+}  // namespace snapper

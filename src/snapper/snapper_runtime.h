@@ -1,0 +1,102 @@
+// SnapperRuntime: the library facade. Owns the actor runtime, the shared
+// loggers, the coordinator ring, the commit sequencer and the global-abort
+// controller; exposes the client API of paper Table 1 (StartTxn in PACT /
+// ACT / NT flavours) plus recovery.
+//
+// Typical use:
+//   SnapperRuntime rt(config);                     // or rt(config, &my_env)
+//   auto type = rt.RegisterActorType("Account", ...factory...);
+//   rt.Start();
+//   auto f = rt.SubmitPact({type, 42}, "Transfer", input, accessInfo);
+//   TxnResult r = f.Get();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "actor/actor.h"
+#include "snapper/config.h"
+#include "snapper/recovery.h"
+#include "snapper/snapper_context.h"
+#include "snapper/transactional_actor.h"
+#include "wal/env.h"
+
+namespace snapper {
+
+class SnapperRuntime {
+ public:
+  /// `env` is the WAL storage backend; nullptr selects an internal MemEnv
+  /// (still exercising the full logging path; see EXPERIMENTS.md).
+  explicit SnapperRuntime(SnapperConfig config, Env* env = nullptr);
+  ~SnapperRuntime();
+
+  SnapperRuntime(const SnapperRuntime&) = delete;
+  SnapperRuntime& operator=(const SnapperRuntime&) = delete;
+
+  /// Registers a user-defined transactional actor type. Must be called
+  /// before Start().
+  uint32_t RegisterActorType(
+      std::string name,
+      std::function<std::shared_ptr<TransactionalActor>(uint64_t key)>
+          factory);
+
+  /// Replays the WAL in `env` and stages recovered actor states; actors
+  /// pick them up on (re-)activation. Call before Start() when reopening
+  /// after a crash.
+  Result<RecoveryResult> Recover();
+
+  /// Spawns the coordinator ring and starts the token.
+  void Start();
+
+  /// Submits a PACT (deterministic execution; `info` pre-declares the actor
+  /// accesses, paper §3.1).
+  Future<TxnResult> SubmitPact(const ActorId& first, std::string method,
+                               Value input, ActorAccessInfo info);
+
+  /// Submits an ACT (S2PL + 2PC).
+  Future<TxnResult> SubmitAct(const ActorId& first, std::string method,
+                              Value input);
+
+  /// Non-transactional execution (the NT upper bound of Fig. 12).
+  Future<TxnResult> SubmitNt(const ActorId& first, std::string method,
+                             Value input);
+
+  /// Blocking conveniences for tests and examples.
+  TxnResult RunPact(const ActorId& first, const std::string& method,
+                    Value input, ActorAccessInfo info) {
+    return SubmitPact(first, method, std::move(input), std::move(info)).Get();
+  }
+  TxnResult RunAct(const ActorId& first, const std::string& method,
+                   Value input) {
+    return SubmitAct(first, method, std::move(input)).Get();
+  }
+  TxnResult RunNt(const ActorId& first, const std::string& method,
+                  Value input) {
+    return SubmitNt(first, method, std::move(input)).Get();
+  }
+
+  /// Simulates a silo crash: all in-memory actor state vanishes (the WAL
+  /// survives in `env`). Quiesce first; then Recover() + fresh activations
+  /// resume from committed state.
+  void CrashActors() { runtime_->CrashAllActors(); }
+
+  SnapperContext& context() { return context_; }
+  ActorRuntime& runtime() { return *runtime_; }
+  Env& env() { return *env_; }
+  const SnapperConfig& config() const { return context_.config; }
+
+  /// Drains workers and timers. Called by the destructor.
+  void Shutdown();
+
+ private:
+  std::unique_ptr<Env> owned_env_;
+  Env* env_;
+  std::unique_ptr<ActorRuntime> runtime_;
+  std::unique_ptr<LogManager> log_manager_;
+  SnapperContext context_;
+  uint64_t tid_base_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace snapper

@@ -1,0 +1,782 @@
+#include "snapper/transactional_actor.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "snapper/coordinator.h"
+#include "wal/log_format.h"
+
+namespace snapper {
+
+namespace {
+
+/// kNoBid-aware max.
+uint64_t MaxBid(uint64_t a, uint64_t b) {
+  if (a == kNoBid) return b;
+  if (b == kNoBid) return a;
+  return std::max(a, b);
+}
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+TimePoint Now() { return std::chrono::steady_clock::now(); }
+
+uint32_t MicrosBetween(TimePoint from, TimePoint to) {
+  return static_cast<uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+void TransactionalActor::OnActivate() {
+  state_ = InitialState();
+  committed_state_ = state_;
+  if (runtime().app_context() == nullptr) return;  // bare-runtime tests
+  auto recovered = sctx().TakeRecoveredState(id());
+  if (recovered.has_value()) {
+    state_ = *recovered;
+    committed_state_ = std::move(*recovered);
+  }
+  sctx().RegisterTransactionalActor(id());
+}
+
+void TransactionalActor::LoadRecoveredState(Value state) {
+  state_ = state;
+  committed_state_ = std::move(state);
+}
+
+Status TransactionalActor::StatusFromException(std::exception_ptr e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const TxnAbort& abort) {
+    return abort.status();
+  } catch (const std::exception& ex) {
+    return Status::TxnAborted(AbortReason::kUserAbort, ex.what());
+  } catch (...) {
+    return Status::TxnAborted(AbortReason::kUserAbort, "unknown exception");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// User-facing API
+// ---------------------------------------------------------------------------
+
+Task<Value*> TransactionalActor::GetState(TxnContext& ctx, AccessMode mode) {
+  switch (ctx.mode) {
+    case TxnMode::kPact:
+      // Gating already happened at invocation entry (§4.2.3); record writer
+      // status for the BatchComplete snapshot decision.
+      if (mode == AccessMode::kReadWrite) schedule_.SetBatchWrote(ctx.bid);
+      co_return &state_;
+
+    case TxnMode::kAct: {
+      if (IsTombstonedAct(ctx.tid)) {
+        throw TxnAbort(Status::TxnAborted(AbortReason::kCascading,
+                                          "ACT already aborted"));
+      }
+      Status s = co_await AwaitStatusWithTimeout(
+          runtime().timers(), lock_.Acquire(ctx.tid, mode),
+          sctx().config.act_wait_timeout);
+      if (s.IsTimedOut()) {
+        // The hybrid deadlock breaker (§4.4.2): ACTs lose to PACTs.
+        throw TxnAbort(Status::TxnAborted(AbortReason::kPactActDeadlock,
+                                          "lock wait timed out"));
+      }
+      if (!s.ok()) throw TxnAbort(s);
+      if (mode == AccessMode::kReadWrite) {
+        ActLocal& local = act_local_[ctx.tid];
+        if (!local.has_before_image) {
+          local.before_image = state_;
+          local.has_before_image = true;
+        }
+        local.wrote = true;
+        if (ctx.info) ctx.info->MarkWrote(id());
+      }
+      co_return &state_;
+    }
+
+    case TxnMode::kNt:
+      co_return &state_;
+  }
+  co_return &state_;  // unreachable
+}
+
+Task<Value> TransactionalActor::CallActor(TxnContext& ctx,
+                                          const ActorId& target,
+                                          FuncCall call) {
+  // Register the callee at issue time, not arrival time: if the transaction
+  // aborts while this call is still in flight, the root must know to send
+  // the callee an abort (whose tombstone then rejects the late invocation).
+  if (ctx.mode == TxnMode::kAct && ctx.info) {
+    ctx.info->RegisterParticipant(target);
+  }
+  if (target == id()) {
+    // Local call: still a distinct access, scheduled like any other.
+    co_return co_await InvokeTxn(ctx, std::move(call));
+  }
+  auto future = runtime().Call<TransactionalActor>(
+      target,
+      [ctx, call = std::move(call)](TransactionalActor& callee) mutable {
+        return callee.InvokeTxn(ctx, std::move(call));
+      });
+  co_return co_await future;
+}
+
+Future<Value> TransactionalActor::CallActorAsync(TxnContext& ctx,
+                                                 const ActorId& target,
+                                                 FuncCall call) {
+  if (ctx.mode == TxnMode::kAct && ctx.info) {
+    ctx.info->RegisterParticipant(target);  // see CallActor
+  }
+  if (target == id()) {
+    return InvokeTxn(ctx, std::move(call)).Start(strand());
+  }
+  return runtime().Call<TransactionalActor>(
+      target,
+      [ctx, call = std::move(call)](TransactionalActor& callee) mutable {
+        return callee.InvokeTxn(ctx, std::move(call));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Invocation wrappers (callee side)
+// ---------------------------------------------------------------------------
+
+Task<Value> TransactionalActor::InvokeTxn(TxnContext ctx, FuncCall call) {
+  if (ctx.mode != TxnMode::kNt) {
+    if (aborting_ ||
+        ctx.epoch < sctx().abort_controller->epoch()) {
+      throw TxnAbort(Status::TxnAborted(AbortReason::kCascading,
+                                        "transaction epoch is stale"));
+    }
+  }
+  auto method = methods_.find(call.method);
+  if (method == methods_.end()) {
+    throw TxnAbort(
+        Status::InvalidArgument("unknown method: " + call.method));
+  }
+  switch (ctx.mode) {
+    case TxnMode::kPact:
+      co_return co_await InvokePact(ctx, method->second,
+                                    std::move(call.input));
+    case TxnMode::kAct:
+      co_return co_await InvokeAct(ctx, method->second, std::move(call.input));
+    case TxnMode::kNt: {
+      co_return co_await method->second(ctx, std::move(call.input));
+    }
+  }
+  co_return Value();  // unreachable
+}
+
+Task<Value> TransactionalActor::InvokePact(TxnContext ctx,
+                                           const Method& method, Value input) {
+  Status turn = co_await schedule_.WaitPactTurn(ctx.bid, ctx.tid);
+  if (!turn.ok()) throw TxnAbort(turn);
+
+  active_invocations_++;
+  Value result;
+  std::exception_ptr error;
+  try {
+    result = co_await method(ctx, std::move(input));
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  if (error != nullptr) {
+    // An exception escaped a PACT invocation: the whole batch (and all
+    // speculative successors) must be rolled back (§4.2.4). Snapper detects
+    // this at the actor that observed the exception — even if user code
+    // upstream catches it — and the access is NOT counted (the batch can
+    // never complete).
+    Status cause = StatusFromException(error);
+    if (!(cause.IsTxnAborted() &&
+          cause.abort_reason() == AbortReason::kCascading)) {
+      // Fire-and-forget: awaiting the round here would deadlock the
+      // quiesce phase (this invocation is still active).
+      sctx().abort_controller->RequestAbort(ctx.bid, cause);
+    }
+    active_invocations_--;
+    NotifyQuiesce();
+    std::rethrow_exception(error);
+  }
+
+  auto outcome = schedule_.CompletePactAccess(ctx.bid, ctx.tid);
+  if (outcome.batch_completed) OnSubBatchComplete(ctx.bid);
+  active_invocations_--;
+  NotifyQuiesce();
+  co_return result;
+}
+
+Task<Value> TransactionalActor::InvokeAct(TxnContext ctx, const Method& method,
+                                          Value input) {
+  assert(ctx.info != nullptr && "ACT context without SharedTxnInfo");
+  if (IsTombstonedAct(ctx.tid)) {
+    // The transaction was already aborted here; this invocation arrived
+    // late (message order is nondeterministic) and must not re-register.
+    throw TxnAbort(
+        Status::TxnAborted(AbortReason::kCascading, "ACT already aborted"));
+  }
+  ctx.info->RegisterParticipant(id());
+  schedule_.RegisterAct(ctx.tid);
+
+  Status turn = co_await AwaitStatusWithTimeout(
+      runtime().timers(), schedule_.WaitActTurn(ctx.tid),
+      sctx().config.act_wait_timeout);
+  if (turn.IsTimedOut()) {
+    throw TxnAbort(Status::TxnAborted(AbortReason::kPactActDeadlock,
+                                      "schedule wait timed out"));
+  }
+  if (!turn.ok()) throw TxnAbort(turn);
+  if (IsTombstonedAct(ctx.tid)) {
+    throw TxnAbort(
+        Status::TxnAborted(AbortReason::kCascading, "ACT already aborted"));
+  }
+
+  active_invocations_++;
+  act_local_[ctx.tid].active++;
+  Value result;
+  std::exception_ptr error;
+  try {
+    result = co_await method(ctx, std::move(input));
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  if (error == nullptr && !IsTombstonedAct(ctx.tid)) {
+    // BeforeSet/AfterSet contribution taken when the invocation finishes
+    // (§4.4.3). The actor's committed-ACT watermark folds transitive
+    // Tj -> Ti dependencies into the BeforeSet.
+    const uint64_t before =
+        MaxBid(schedule_.ClosestBatchBefore(ctx.tid), act_bs_watermark_);
+    const uint64_t after = schedule_.FirstBatchAfter(ctx.tid);
+    ctx.info->SetScheduleObservation(id(), before, after);
+  }
+
+  OnActInvocationExit(ctx.tid);
+  active_invocations_--;
+  NotifyQuiesce();
+  if (error != nullptr) std::rethrow_exception(error);
+  co_return result;
+}
+
+void TransactionalActor::OnActInvocationExit(uint64_t tid) {
+  auto it = act_local_.find(tid);
+  if (it == act_local_.end()) return;  // already cleaned up (global abort)
+  it->second.active--;
+  if (it->second.abort_pending && it->second.active <= 0) {
+    DoAbortActLocal(tid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client entry
+// ---------------------------------------------------------------------------
+
+Task<TxnResult> TransactionalActor::StartTxn(TxnMode mode, FuncCall call,
+                                             ActorAccessInfo info) {
+  switch (mode) {
+    case TxnMode::kPact:
+      co_return co_await StartPact(std::move(call), std::move(info));
+    case TxnMode::kAct:
+      co_return co_await StartAct(std::move(call));
+    case TxnMode::kNt:
+      co_return co_await StartNt(std::move(call));
+  }
+  co_return TxnResult{Status::Internal("bad mode"), Value()};
+}
+
+Task<TxnResult> TransactionalActor::StartPact(FuncCall call,
+                                              ActorAccessInfo info) {
+  TxnResult out;
+  const TimePoint t0 = Now();
+  TxnContext ctx;
+  try {
+    auto coordinator = sctx().CoordinatorFor(id());
+    // NOTE: the Call is hoisted out of the co_await full-expression — GCC 12
+    // miscompiles the cleanup of non-trivial temporaries (here: the
+    // move-capturing lambda) held across a suspension, destroying them twice.
+    auto ctx_future = runtime().Call<CoordinatorActor>(
+        coordinator,
+        [root = id(), info = std::move(info)](CoordinatorActor& c) mutable {
+          return c.NewPact(root, std::move(info));
+        });
+    ctx = co_await ctx_future;
+  } catch (...) {
+    out.status = StatusFromException(std::current_exception());
+    co_return out;
+  }
+  const TimePoint t1 = Now();
+  out.timings.start_us = MicrosBetween(t0, t1);
+
+  Value result;
+  try {
+    result = co_await InvokeTxn(ctx, std::move(call));
+  } catch (...) {
+    // The failing invocation already triggered the global abort; the client
+    // sees the root cause.
+    out.status = StatusFromException(std::current_exception());
+    co_return out;
+  }
+  const TimePoint t2 = Now();
+  out.timings.exec_us = MicrosBetween(t1, t2);
+
+  // The PACT executed; its result is released when the batch commits
+  // (paper §4.2.4: actors return results to clients on BatchCommit).
+  Status outcome = co_await WaitBatchOutcome(ctx.bid);
+  out.timings.commit_us = MicrosBetween(t2, Now());
+  if (!outcome.ok()) {
+    out.status = outcome;
+    co_return out;
+  }
+  out.value = std::move(result);
+  co_return out;
+}
+
+Future<Status> TransactionalActor::WaitBatchOutcome(uint64_t bid) {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+  auto& sequencer = sctx().sequencer;
+  if (sequencer.IsAborted(bid)) {
+    promise.Set(Status::TxnAborted(AbortReason::kCascading, "batch aborted"));
+  } else if (sequencer.IsCommitted(bid)) {
+    promise.Set(Status::OK());
+  } else {
+    batch_outcome_waiters_[bid].push_back(std::move(promise));
+  }
+  return future;
+}
+
+Task<TxnResult> TransactionalActor::StartAct(FuncCall call) {
+  TxnResult out;
+  const TimePoint t0 = Now();
+  TxnContext ctx;
+  try {
+    auto coordinator = sctx().CoordinatorFor(id());
+    // Hoisted out of the co_await full-expression (GCC 12 temporary-cleanup
+    // bug; see StartPact).
+    auto ctx_future = runtime().Call<CoordinatorActor>(
+        coordinator,
+        [root = id()](CoordinatorActor& c) { return c.NewAct(root); });
+    ctx = co_await ctx_future;
+  } catch (...) {
+    out.status = StatusFromException(std::current_exception());
+    co_return out;
+  }
+  ctx.info = std::make_shared<SharedTxnInfo>();
+  const TimePoint t1 = Now();
+  out.timings.start_us = MicrosBetween(t0, t1);
+
+  Value result;
+  Status failure;
+  try {
+    result = co_await InvokeTxn(ctx, std::move(call));
+  } catch (...) {
+    failure = StatusFromException(std::current_exception());
+  }
+  const TimePoint t2 = Now();
+  out.timings.exec_us = MicrosBetween(t1, t2);
+
+  const TxnExeInfo info = ctx.info->Snapshot();
+  if (failure.ok()) {
+    failure = co_await CommitActAsRoot(ctx.tid, ctx.epoch, info);
+  }
+  if (!failure.ok()) {
+    co_await AbortActAsRoot(ctx.tid, info);
+    out.timings.commit_us = MicrosBetween(t2, Now());
+    out.status = failure;
+    co_return out;
+  }
+  out.timings.commit_us = MicrosBetween(t2, Now());
+  out.value = std::move(result);
+  co_return out;
+}
+
+Task<TxnResult> TransactionalActor::StartNt(FuncCall call) {
+  TxnResult out;
+  TxnContext ctx;
+  ctx.mode = TxnMode::kNt;
+  ctx.root_actor = id();
+  const TimePoint t0 = Now();
+  try {
+    out.value = co_await InvokeTxn(ctx, std::move(call));
+  } catch (...) {
+    out.status = StatusFromException(std::current_exception());
+  }
+  out.timings.exec_us = MicrosBetween(t0, Now());
+  co_return out;
+}
+
+// ---------------------------------------------------------------------------
+// ACT commit/abort (root = 2PC coordinator, §4.3.3)
+// ---------------------------------------------------------------------------
+
+Task<Status> TransactionalActor::CommitActAsRoot(uint64_t tid, uint64_t epoch,
+                                                 const TxnExeInfo& info) {
+  auto& ctx = sctx();
+  const uint64_t max_bs = info.MaxBeforeSet();
+
+  // Serializability check (§4.4.3, Theorem 4.2 condition 3).
+  if (info.AfterSetIncomplete()) {
+    // Optimization: pass if the BeforeSet is empty or fully committed —
+    // every batch in the (unknown) AfterSet has not started executing, so
+    // its bid exceeds max(BS).
+    const bool bs_committed =
+        max_bs == kNoBid || ctx.sequencer.IsCommitted(max_bs);
+    if (!bs_committed) {
+      co_return Status::TxnAborted(AbortReason::kIncompleteAfterSet,
+                                   "AfterSet incomplete, BeforeSet pending");
+    }
+  } else {
+    const uint64_t min_as = info.MinAfterSet();
+    if (max_bs != kNoBid && max_bs >= min_as) {
+      co_return Status::TxnAborted(AbortReason::kSerializabilityCheck,
+                                   "max(BS) >= min(AS)");
+    }
+  }
+
+  // Commit-wait (§4.4.4): all BeforeSet batches must commit first.
+  if (max_bs != kNoBid && !ctx.sequencer.IsCommitted(max_bs)) {
+    Status s = co_await AwaitStatusWithTimeout(
+        runtime().timers(), ctx.sequencer.WaitCommitted(max_bs),
+        ctx.config.act_wait_timeout);
+    if (s.IsTimedOut()) {
+      co_return Status::TxnAborted(AbortReason::kPactActDeadlock,
+                                   "commit-wait timed out");
+    }
+    if (!s.ok()) co_return s;
+  }
+
+  // --- 2PC, this actor acting as coordinator (Fig. 3b / Fig. 7) ---
+  if (ctx.log_manager->enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActCoordPrepare;
+    record.id = tid;
+    record.actor = id();
+    for (const auto& [actor, _] : info.participants) {
+      record.participants.push_back(actor);
+    }
+    Status ls = co_await ctx.log_manager->LoggerFor(id()).Append(record);
+    if (!ls.ok()) co_return Status::TxnAborted(AbortReason::kSystemFailure,
+                                               "CoordPrepare log failed");
+  }
+
+  // Prepare phase. The root is its own participant (no messages, §5.2.3).
+  std::vector<Future<bool>> votes;
+  for (const auto& [actor, _] : info.participants) {
+    if (actor == id()) continue;
+    ctx.counters.act_prepares.fetch_add(1);
+    votes.push_back(runtime().Call<TransactionalActor>(
+        actor, [tid, epoch](TransactionalActor& a) {
+          return a.ActPrepare(tid, epoch);
+        }));
+  }
+  bool all_yes = co_await PrepareActLocal(tid);
+  for (auto& vote : votes) {
+    try {
+      all_yes = (co_await vote) && all_yes;
+    } catch (...) {
+      all_yes = false;
+    }
+  }
+  if (!all_yes) {
+    co_return Status::TxnAborted(AbortReason::kCascading,
+                                 "participant voted no");
+  }
+
+  if (ctx.log_manager->enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActCoordCommit;
+    record.id = tid;
+    record.actor = id();
+    Status ls = co_await ctx.log_manager->LoggerFor(id()).Append(record);
+    if (!ls.ok()) co_return Status::TxnAborted(AbortReason::kSystemFailure,
+                                               "CoordCommit log failed");
+  }
+
+  // Commit phase: apply locally, then notify participants. max(BS) rides
+  // along for their BeforeSet watermarks (§4.4.3).
+  CommitActLocal(tid, max_bs);
+  for (const auto& [actor, _] : info.participants) {
+    if (actor == id()) continue;
+    ctx.counters.act_commits.fetch_add(1);
+    runtime().Call<TransactionalActor>(
+        actor, [tid, max_bs](TransactionalActor& a) {
+          return a.ActCommit(tid, max_bs);
+        });
+  }
+  co_return Status::OK();
+}
+
+Task<void> TransactionalActor::AbortActAsRoot(uint64_t tid,
+                                              const TxnExeInfo& info) {
+  auto& ctx = sctx();
+  std::vector<Future<void>> acks;
+  for (const auto& [actor, _] : info.participants) {
+    if (actor == id()) continue;
+    ctx.counters.act_aborts.fetch_add(1);
+    acks.push_back(runtime().Call<TransactionalActor>(
+        actor, [tid](TransactionalActor& a) { return a.ActAbort(tid); }));
+  }
+  AbortActLocal(tid);
+  // Presumed abort (§4.3.3): no abort logging; just await the cleanups so
+  // locks are free before the client retries.
+  for (auto& ack : acks) {
+    try {
+      co_await ack;
+    } catch (...) {
+      // Participant cleanup failures are non-fatal here.
+    }
+  }
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// ACT participant side
+// ---------------------------------------------------------------------------
+
+Task<bool> TransactionalActor::ActPrepare(uint64_t tid, uint64_t epoch) {
+  co_return co_await PrepareActLocal(tid);
+}
+
+Task<bool> TransactionalActor::PrepareActLocal(uint64_t tid) {
+  if (aborting_) co_return false;
+  auto local = act_local_.find(tid);
+  if (local == act_local_.end() && !lock_.IsHeldBy(tid)) {
+    // This actor no longer knows the transaction (cleared by a global
+    // abort): refuse.
+    co_return false;
+  }
+  prepared_acts_.insert(tid);
+  auto& ctx = sctx();
+  if (ctx.log_manager->enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActPrepare;
+    record.id = tid;
+    record.actor = id();
+    const bool wrote = local != act_local_.end() && local->second.wrote;
+    if (wrote) record.state = state_.Encode();
+    Status ls = co_await ctx.log_manager->LoggerFor(id()).Append(record);
+    if (!ls.ok()) {
+      prepared_acts_.erase(tid);
+      NotifyQuiesce();
+      co_return false;
+    }
+  }
+  co_return true;
+}
+
+Task<void> TransactionalActor::ActCommit(uint64_t tid, uint64_t final_max_bs) {
+  CommitActLocal(tid, final_max_bs);
+  co_return;
+}
+
+void TransactionalActor::CommitActLocal(uint64_t tid, uint64_t final_max_bs) {
+  const uint64_t seq = schedule_.ActSeq(tid);
+  if (seq == LocalSchedule::kNoSeq || seq >= last_committed_seq_) {
+    committed_state_ = state_;
+    if (seq != LocalSchedule::kNoSeq) last_committed_seq_ = seq;
+  }
+  act_bs_watermark_ = MaxBid(act_bs_watermark_, final_max_bs);
+
+  auto& ctx = sctx();
+  if (ctx.log_manager->enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kActCommit;
+    record.id = tid;
+    record.actor = id();
+    // Fire-and-forget: the commit decision is already durable at the 2PC
+    // coordinator (CoordCommit); this record only speeds up recovery.
+    ctx.log_manager->LoggerFor(id()).Append(std::move(record));
+  }
+
+  lock_.Release(tid);
+  schedule_.FinishAct(tid);
+  prepared_acts_.erase(tid);
+  act_local_.erase(tid);
+  NotifyQuiesce();
+}
+
+Task<void> TransactionalActor::ActAbort(uint64_t tid) {
+  AbortActLocal(tid);
+  co_return;
+}
+
+void TransactionalActor::TombstoneAct(uint64_t tid) {
+  if (aborted_acts_.insert(tid).second) {
+    aborted_acts_fifo_.push_back(tid);
+    if (aborted_acts_fifo_.size() > kMaxActTombstones) {
+      aborted_acts_.erase(aborted_acts_fifo_.front());
+      aborted_acts_fifo_.pop_front();
+    }
+  }
+}
+
+void TransactionalActor::AbortActLocal(uint64_t tid) {
+  TombstoneAct(tid);  // blocks late re-registration and new state access
+  auto local = act_local_.find(tid);
+  if (local != act_local_.end() && local->second.active > 0) {
+    // A method of this transaction is still running here (the root's abort
+    // raced the fan-out): roll back only after it unwinds, or it would
+    // scribble on restored state through its GetState pointer.
+    local->second.abort_pending = true;
+    return;
+  }
+  DoAbortActLocal(tid);
+}
+
+void TransactionalActor::DoAbortActLocal(uint64_t tid) {
+  auto local = act_local_.find(tid);
+  if (local != act_local_.end()) {
+    if (local->second.has_before_image) {
+      state_ = std::move(local->second.before_image);
+    }
+    act_local_.erase(local);
+  }
+  lock_.Release(tid);
+  schedule_.FinishAct(tid);
+  prepared_acts_.erase(tid);
+  NotifyQuiesce();
+}
+
+// ---------------------------------------------------------------------------
+// PACT batch protocol (actor side)
+// ---------------------------------------------------------------------------
+
+Task<void> TransactionalActor::ReceiveBatch(BatchMsg msg) {
+  // Drop dead batches: marked aborted, or formed just before an abort round
+  // started (stale epoch) — those never complete and must not enter the
+  // fresh schedule chain.
+  if (sctx().sequencer.IsAborted(msg.bid) ||
+      msg.epoch < sctx().abort_controller->epoch()) {
+    co_return;
+  }
+  batch_owner_[msg.bid] = msg.coordinator;
+  schedule_.AddBatch(std::move(msg));
+  co_return;
+}
+
+void TransactionalActor::OnSubBatchComplete(uint64_t bid) {
+  const bool wrote = schedule_.BatchWrote(bid);
+  PactSnapshot snapshot;
+  snapshot.seq = schedule_.BatchSeq(bid);
+  snapshot.wrote = wrote;
+  if (wrote) snapshot.state = state_;
+  pact_snapshots_[bid] = std::move(snapshot);
+  LogAndAckSubBatch(bid, wrote).Start(strand());
+}
+
+Task<void> TransactionalActor::LogAndAckSubBatch(uint64_t bid, bool wrote) {
+  auto& ctx = sctx();
+  if (ctx.log_manager->enabled()) {
+    LogRecord record;
+    record.type = LogRecordType::kBatchComplete;
+    record.id = bid;
+    record.actor = id();
+    if (wrote) {
+      auto it = pact_snapshots_.find(bid);
+      if (it != pact_snapshots_.end()) record.state = it->second.state.Encode();
+    }
+    Status ls = co_await ctx.log_manager->LoggerFor(id()).Append(record);
+    if (!ls.ok()) co_return;  // never ack an unlogged completion (§4.2.4)
+  }
+  auto owner = batch_owner_.find(bid);
+  if (owner == batch_owner_.end()) co_return;  // aborted meanwhile
+  ctx.counters.batch_completes.fetch_add(1);
+  runtime().Call<CoordinatorActor>(
+      ctx.CoordinatorId(owner->second),
+      [bid, self = id()](CoordinatorActor& c) {
+        return c.AckBatchComplete(bid, self);
+      });
+  co_return;
+}
+
+Task<void> TransactionalActor::ReceiveBatchCommit(uint64_t bid) {
+  auto it = pact_snapshots_.find(bid);
+  if (it != pact_snapshots_.end()) {
+    if (it->second.seq >= last_committed_seq_) {
+      if (it->second.wrote) committed_state_ = std::move(it->second.state);
+      last_committed_seq_ = it->second.seq;
+    }
+    pact_snapshots_.erase(it);
+  }
+  schedule_.MarkBatchCommitted(bid);
+  batch_owner_.erase(bid);
+
+  auto waiters = batch_outcome_waiters_.find(bid);
+  if (waiters != batch_outcome_waiters_.end()) {
+    for (auto& p : waiters->second) p.TrySet(Status::OK());
+    batch_outcome_waiters_.erase(waiters);
+  }
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// Global cascading abort (actor-local phase, §4.2.4)
+// ---------------------------------------------------------------------------
+
+bool TransactionalActor::QuiescedForAbort() const {
+  return active_invocations_ == 0 && prepared_acts_.empty() && lock_.IsFree();
+}
+
+void TransactionalActor::NotifyQuiesce() {
+  if (quiesce_waiters_.empty()) return;
+  auto waiters = std::move(quiesce_waiters_);
+  quiesce_waiters_.clear();
+  for (auto& p : waiters) p.TrySet(Unit{});
+}
+
+Task<void> TransactionalActor::AbortUncommitted(Status status) {
+  aborting_ = true;
+  auto& ctx = sctx();
+  auto* sequencer = &ctx.sequencer;
+
+  auto dropped = schedule_.AbortUncommitted(
+      status, [sequencer](uint64_t bid) { return sequencer->IsCommitted(bid); });
+  lock_.FailAllWaiters(status);
+
+  // Resolve root-PACT outcome waiters for every aborted batch.
+  for (auto it = batch_outcome_waiters_.begin();
+       it != batch_outcome_waiters_.end();) {
+    if (sequencer->IsAborted(it->first)) {
+      for (auto& p : it->second) p.TrySet(status);
+      it = batch_outcome_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Quiesce: wait for in-flight invocations to unwind and undecided ACTs to
+  // resolve (their 2PC outcomes arrive as later turns on this strand).
+  while (!QuiescedForAbort()) {
+    Promise<Unit> p;
+    auto f = p.GetFuture();
+    quiesce_waiters_.push_back(std::move(p));
+    co_await f;
+  }
+
+  // Promote committed-but-locally-unapplied snapshots (their BatchCommit
+  // message may still be in flight), in schedule order.
+  for (auto it = pact_snapshots_.begin(); it != pact_snapshots_.end();) {
+    if (sequencer->IsCommitted(it->first)) {
+      if (it->second.seq >= last_committed_seq_) {
+        if (it->second.wrote) committed_state_ = it->second.state;
+        last_committed_seq_ = it->second.seq;
+      }
+      ++it;  // keep: ReceiveBatchCommit will pop the schedule node
+    } else {
+      it = pact_snapshots_.erase(it);
+    }
+  }
+  for (uint64_t bid : dropped) batch_owner_.erase(bid);
+
+  // Any surviving ACT bookkeeping belongs to dead transactions (quiesce
+  // guarantees no lock holders / prepared ACTs remain).
+  act_local_.clear();
+
+  state_ = committed_state_;
+  aborting_ = false;
+  co_return;
+}
+
+}  // namespace snapper

@@ -1,0 +1,198 @@
+// TransactionalActor: the base class of every user-defined actor in Snapper
+// (paper §3.1). It implements, per actor:
+//   * the transactional API visible to user methods — GetState / CallActor
+//     (paper Table 1, Fig. 2);
+//   * deterministic PACT scheduling against the LocalSchedule (§4.2.3),
+//     including speculative sub-batch execution, the BatchComplete /
+//     BatchCommit protocol (§4.2.4), and snapshot-based rollback;
+//   * nondeterministic ACT execution: S2PL with wait-die at the actor lock
+//     (§4.3.2), before-image rollback, 2PC participant and root-coordinator
+//     roles with presumed abort (§4.3.3);
+//   * hybrid scheduling (§4.4.1), the timeout deadlock breaker (§4.4.2), and
+//     the BeforeSet/AfterSet serializability check (§4.4.3, Theorem 4.2)
+//     with the incomplete-AfterSet optimization;
+//   * the actor-local part of the global cascading abort (§4.2.4).
+//
+// Actor state is a `Value` blob (the paper also treats each actor's state as
+// a value blob, §5.4.2). Subclasses register named methods in their
+// constructor and manipulate the state through GetState.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actor/actor.h"
+#include "async/task.h"
+#include "common/value.h"
+#include "snapper/local_schedule.h"
+#include "snapper/lock_table.h"
+#include "snapper/snapper_context.h"
+#include "snapper/txn_types.h"
+
+namespace snapper {
+
+class TransactionalActor : public ActorBase {
+ public:
+  /// A transactional method: receives the context and the call input,
+  /// returns the call result. Must access state only via GetState and call
+  /// other actors only via CallActor.
+  using Method = std::function<Task<Value>(TxnContext&, Value)>;
+
+  // --- API for user-defined methods (paper Table 1) -----------------------
+
+  /// Returns a pointer to this actor's state. kRead access must not mutate;
+  /// kReadWrite marks the transaction as a writer here (deciding WAL
+  /// snapshot content and ACT lock mode). May suspend: ACTs block on the
+  /// actor lock (aborting on wait-die or deadlock timeout).
+  Task<Value*> GetState(TxnContext& ctx, AccessMode mode);
+
+  /// Invokes `call` on `target` within the transaction. The callee executes
+  /// under the same tid/mode; results and execution info flow back here.
+  Task<Value> CallActor(TxnContext& ctx, const ActorId& target, FuncCall call);
+
+  /// Fire-and-await-later variant of CallActor for fan-out: the call starts
+  /// immediately; await the returned future when the result is needed. Used
+  /// by multi-actor transactions that touch actors in parallel (e.g.
+  /// SmallBank's MultiTransfer, §5.1.1).
+  Future<Value> CallActorAsync(TxnContext& ctx, const ActorId& target,
+                               FuncCall call);
+
+  // --- Client entry point (used via SnapperRuntime::Submit*) ---------------
+
+  /// Runs a transaction rooted at this actor. `info` is required for kPact
+  /// and ignored otherwise. Resolves after commit/abort (paper §3.2.1).
+  Task<TxnResult> StartTxn(TxnMode mode, FuncCall call, ActorAccessInfo info);
+
+  // --- Coordinator- and peer-facing protocol surface ----------------------
+
+  Task<Value> InvokeTxn(TxnContext ctx, FuncCall call);
+  Task<void> ReceiveBatch(BatchMsg msg);
+  Task<void> ReceiveBatchCommit(uint64_t bid);
+  Task<bool> ActPrepare(uint64_t tid, uint64_t epoch);
+  Task<void> ActCommit(uint64_t tid, uint64_t final_max_bs);
+  Task<void> ActAbort(uint64_t tid);
+
+  /// Actor-local phase of the global cascading abort: fails every gate and
+  /// waiter, quiesces in-flight work, promotes committed-but-unapplied
+  /// snapshots, and rolls the state back to the committed image.
+  Task<void> AbortUncommitted(Status status);
+
+  // --- Lifecycle / recovery -------------------------------------------------
+
+  void OnActivate() override;
+
+  /// Installs a recovered state (from the WAL) as both current and committed.
+  void LoadRecoveredState(Value state);
+
+  // --- Introspection (tests, benches) --------------------------------------
+
+  const Value& state_for_test() const { return state_; }
+  const Value& committed_state_for_test() const { return committed_state_; }
+  const LocalSchedule& schedule_for_test() const { return schedule_; }
+  const ActorLock& lock_for_test() const { return lock_; }
+
+ protected:
+  /// Subclass constructors register their methods with this.
+  void RegisterMethod(std::string name, Method method) {
+    methods_[std::move(name)] = std::move(method);
+  }
+
+  /// Initial state of a fresh actor (before any recovery), e.g. an account's
+  /// opening balance. Called on activation.
+  virtual Value InitialState() const { return Value(); }
+
+  SnapperContext& sctx() const {
+    return *static_cast<SnapperContext*>(runtime().app_context());
+  }
+
+ private:
+  struct PactSnapshot {
+    uint64_t seq = 0;
+    bool wrote = false;
+    Value state;
+  };
+
+  struct ActLocal {
+    bool wrote = false;
+    bool has_before_image = false;
+    Value before_image;
+    /// Invocations of this tid currently executing on this actor. An abort
+    /// arriving while > 0 is deferred until they unwind, so a still-running
+    /// method never mutates state that was already rolled back.
+    int active = 0;
+    bool abort_pending = false;
+  };
+
+  Task<TxnResult> StartPact(FuncCall call, ActorAccessInfo info);
+  Task<TxnResult> StartAct(FuncCall call);
+  Task<TxnResult> StartNt(FuncCall call);
+
+  Task<Value> InvokePact(TxnContext ctx, const Method& method, Value input);
+  Task<Value> InvokeAct(TxnContext ctx, const Method& method, Value input);
+
+  /// Synchronous part of sub-batch completion: snapshots state, then kicks
+  /// off the async log + ack (BatchComplete, §4.2.4).
+  void OnSubBatchComplete(uint64_t bid);
+  Task<void> LogAndAckSubBatch(uint64_t bid, bool wrote);
+
+  /// Root-side ACT commit: serializability check, commit-wait, then 2PC.
+  Task<Status> CommitActAsRoot(uint64_t tid, uint64_t epoch,
+                               const TxnExeInfo& info);
+  Task<void> AbortActAsRoot(uint64_t tid, const TxnExeInfo& info);
+
+  /// Participant-side bookkeeping shared by local (root) and remote paths.
+  Task<bool> PrepareActLocal(uint64_t tid);
+  void CommitActLocal(uint64_t tid, uint64_t final_max_bs);
+  void AbortActLocal(uint64_t tid);
+  void DoAbortActLocal(uint64_t tid);
+  void OnActInvocationExit(uint64_t tid);
+
+  Future<Status> WaitBatchOutcome(uint64_t bid);
+  void NotifyQuiesce();
+  bool QuiescedForAbort() const;
+
+  /// Maps an arbitrary in-flight exception to the abort status presented to
+  /// clients and the abort machinery.
+  static Status StatusFromException(std::exception_ptr e);
+
+  Value state_;
+  Value committed_state_;
+  /// Schedule-seq of the newest promotion applied to committed_state_;
+  /// guards against out-of-order commit-message arrival.
+  uint64_t last_committed_seq_ = 0;
+
+  LocalSchedule schedule_;
+  ActorLock lock_;
+  std::map<std::string, Method> methods_;
+
+  std::map<uint64_t, PactSnapshot> pact_snapshots_;  // bid -> snapshot
+  std::map<uint64_t, uint64_t> batch_owner_;         // bid -> coordinator
+  std::map<uint64_t, std::vector<Promise<Status>>> batch_outcome_waiters_;
+
+  std::map<uint64_t, ActLocal> act_local_;  // tid -> local ACT bookkeeping
+  std::set<uint64_t> prepared_acts_;
+  /// Tombstones of ACTs already aborted on this actor: a late invocation of
+  /// such a tid (messages are unordered) must be rejected, or it would
+  /// re-register the dead transaction and leak its lock/schedule slot.
+  /// Bounded FIFO (kMaxActTombstones).
+  std::set<uint64_t> aborted_acts_;
+  std::deque<uint64_t> aborted_acts_fifo_;
+  static constexpr size_t kMaxActTombstones = 1 << 16;
+  void TombstoneAct(uint64_t tid);
+  bool IsTombstonedAct(uint64_t tid) const {
+    return aborted_acts_.count(tid) > 0;
+  }
+  /// max(BS) of ACTs committed on this actor (§4.4.3: the Tj -> Ti carry).
+  uint64_t act_bs_watermark_ = kNoBid;
+
+  int active_invocations_ = 0;
+  bool aborting_ = false;
+  std::vector<Promise<Unit>> quiesce_waiters_;
+};
+
+}  // namespace snapper

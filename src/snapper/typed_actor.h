@@ -1,0 +1,100 @@
+// Typed-state sugar over TransactionalActor.
+//
+// TransactionalActor stores state as a dynamic Value blob (which is what the
+// WAL, snapshots and rollback operate on — the paper does the same, §5.4.2).
+// For application code that prefers a plain struct, TypedTransactionalActor
+// provides a typed view: `GetTypedState` decodes the blob into TState, and a
+// RAII handle re-encodes it on scope exit when acquired read-write.
+//
+//   struct Account {
+//     double balance = 0;
+//     Value ToValue() const { return Value(balance); }
+//     static Account FromValue(const Value& v) { return {v.AsDouble()}; }
+//   };
+//
+//   class AccountActor : public TypedTransactionalActor<Account> {
+//     Task<Value> Deposit(TxnContext& ctx, Value in) {
+//       auto state = co_await GetTypedState(ctx, AccessMode::kReadWrite);
+//       state->balance += in["money"].AsDouble();
+//       co_return Value(state->balance);   // write-back at scope exit
+//     }
+//   };
+//
+// The handle must not outlive the enclosing method invocation (keep it on
+// the coroutine stack), and all mutations must happen before the last
+// suspension point that can observe them — the write-back happens when the
+// handle is destroyed.
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+#include "snapper/transactional_actor.h"
+
+namespace snapper {
+
+/// A type storable as typed actor state: round-trips through Value.
+template <typename T>
+concept ValueConvertible = requires(const T& t, const Value& v) {
+  { t.ToValue() } -> std::convertible_to<Value>;
+  { T::FromValue(v) } -> std::convertible_to<T>;
+};
+
+/// RAII typed view of an actor's state. Writable handles re-encode into the
+/// underlying Value when destroyed; read handles never write back.
+template <ValueConvertible TState>
+class StateHandle {
+ public:
+  StateHandle(Value* slot, AccessMode mode)
+      : slot_(slot),
+        writable_(mode == AccessMode::kReadWrite),
+        state_(TState::FromValue(*slot)) {}
+
+  StateHandle(StateHandle&& other) noexcept
+      : slot_(std::exchange(other.slot_, nullptr)),
+        writable_(other.writable_),
+        state_(std::move(other.state_)) {}
+  StateHandle& operator=(StateHandle&&) = delete;
+  StateHandle(const StateHandle&) = delete;
+  StateHandle& operator=(const StateHandle&) = delete;
+
+  ~StateHandle() {
+    if (slot_ != nullptr && writable_) *slot_ = state_.ToValue();
+  }
+
+  TState* operator->() { return &state_; }
+  const TState* operator->() const { return &state_; }
+  TState& operator*() { return state_; }
+  const TState& operator*() const { return state_; }
+
+  /// Explicit early write-back (e.g. before a suspension point whose callee
+  /// must observe the mutation).
+  void Flush() {
+    if (slot_ != nullptr && writable_) *slot_ = state_.ToValue();
+  }
+
+ private:
+  Value* slot_;
+  bool writable_;
+  TState state_;
+};
+
+/// TransactionalActor with a typed InitialTypedState/GetTypedState surface.
+template <ValueConvertible TState>
+class TypedTransactionalActor : public TransactionalActor {
+ protected:
+  /// Typed initial state; overrides feed the Value-level InitialState.
+  virtual TState InitialTypedState() const { return TState{}; }
+
+  Value InitialState() const override {
+    return InitialTypedState().ToValue();
+  }
+
+  /// Typed counterpart of GetState. Same blocking/abort semantics.
+  Task<StateHandle<TState>> GetTypedState(TxnContext& ctx, AccessMode mode) {
+    Value* slot = co_await GetState(ctx, mode);
+    co_return StateHandle<TState>(slot, mode);
+  }
+};
+
+}  // namespace snapper

@@ -1,0 +1,229 @@
+#include "wal/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+namespace snapper {
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, bool fsync) : fd_(fd), fsync_(fsync) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("write: ") + std::strerror(errno));
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (!fsync_) return Status::OK();
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(std::string("fdatasync: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::IOError(std::string("close: ") + std::strerror(errno));
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  bool fsync_;
+};
+
+}  // namespace
+
+PosixEnv::PosixEnv(std::string dir, bool fsync)
+    : dir_(std::move(dir)), fsync_(fsync) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string PosixEnv::Path(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Status PosixEnv::NewWritableFile(const std::string& name,
+                                 std::unique_ptr<WritableFile>* file) {
+  int fd = ::open(Path(name).c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError(std::string("open: ") + std::strerror(errno));
+  }
+  *file = std::make_unique<PosixWritableFile>(fd, fsync_);
+  return Status::OK();
+}
+
+Status PosixEnv::ReadFile(const std::string& name, std::string* out) {
+  int fd = ::open(Path(name).c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(Path(name));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status PosixEnv::DeleteFile(const std::string& name) {
+  if (::unlink(Path(name).c_str()) != 0) {
+    return Status::IOError(std::string("unlink: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool PosixEnv::FileExists(const std::string& name) {
+  struct stat st;
+  return ::stat(Path(name).c_str(), &st) == 0;
+}
+
+std::vector<std::string> PosixEnv::ListFiles() {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir_, ec)) {
+    if (e.is_regular_file()) out.push_back(e.path().filename().string());
+  }
+  return out;
+}
+
+namespace {
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<MemEnv::FileState> state, MemEnv* env)
+      : state_(std::move(state)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->unsynced.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    const int64_t latency_us = env_->sync_latency_us();
+    if (latency_us > 0) {
+      // Simulated device latency (blocks the caller, like fdatasync).
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+    }
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->synced.append(state_->unsynced);
+    state_->unsynced.clear();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> state_;
+  MemEnv* env_;
+};
+
+}  // namespace
+
+Status MemEnv::NewWritableFile(const std::string& name,
+                               std::unique_ptr<WritableFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_shared<FileState>();
+  files_[name] = state;
+  *file = std::make_unique<MemWritableFile>(std::move(state), this);
+  return Status::OK();
+}
+
+Status MemEnv::ReadFile(const std::string& name, std::string* out) {
+  std::shared_ptr<FileState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    state = it->second;
+  }
+  // Reads observe only durable content, matching post-crash recovery.
+  std::lock_guard<std::mutex> lock(state->mu);
+  *out = state->synced;
+  return Status::OK();
+}
+
+Status MemEnv::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(name);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+std::vector<std::string> MemEnv::ListFiles() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : files_) out.push_back(name);
+  return out;
+}
+
+void MemEnv::CrashAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, state] : files_) {
+    std::lock_guard<std::mutex> flock(state->mu);
+    state->unsynced.clear();
+  }
+}
+
+void MemEnv::CrashAllTorn(size_t tear_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, state] : files_) {
+    std::lock_guard<std::mutex> flock(state->mu);
+    state->unsynced.clear();
+    const size_t cut = std::min(tear_bytes, state->synced.size());
+    state->synced.resize(state->synced.size() - cut);
+  }
+}
+
+size_t MemEnv::TotalSyncedBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [_, state] : files_) {
+    std::lock_guard<std::mutex> flock(state->mu);
+    total += state->synced.size();
+  }
+  return total;
+}
+
+}  // namespace snapper

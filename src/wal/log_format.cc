@@ -1,0 +1,99 @@
+#include "wal/log_format.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace snapper {
+
+namespace {
+
+void PutActorId(std::string* dst, const ActorId& id) {
+  PutVarint64(dst, id.type);
+  PutVarint64(dst, id.key);
+}
+
+bool GetActorId(std::string_view* in, ActorId* id) {
+  uint64_t type, key;
+  if (!GetVarint64(in, &type) || !GetVarint64(in, &key)) return false;
+  id->type = static_cast<uint32_t>(type);
+  id->key = key;
+  return true;
+}
+
+}  // namespace
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  PutFixed8(dst, static_cast<uint8_t>(type));
+  PutVarint64(dst, id);
+  PutActorId(dst, actor);
+  PutVarint64(dst, participants.size());
+  for (const auto& p : participants) PutActorId(dst, p);
+  PutLengthPrefixed(dst, state);
+}
+
+bool LogRecord::DecodeFrom(std::string_view payload) {
+  uint8_t t;
+  if (!GetFixed8(&payload, &t)) return false;
+  if (t < 1 || t > 10) return false;
+  type = static_cast<LogRecordType>(t);
+  if (!GetVarint64(&payload, &id)) return false;
+  if (!GetActorId(&payload, &actor)) return false;
+  uint64_t n;
+  if (!GetVarint64(&payload, &n)) return false;
+  if (n > payload.size()) return false;  // each participant >= 2 bytes
+  participants.clear();
+  participants.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ActorId p;
+    if (!GetActorId(&payload, &p)) return false;
+    participants.push_back(p);
+  }
+  std::string_view s;
+  if (!GetLengthPrefixed(&payload, &s)) return false;
+  state.assign(s.data(), s.size());
+  return payload.empty();
+}
+
+std::string LogRecord::ToString() const {
+  static const char* kNames[] = {"?",          "BatchInfo",   "BatchComplete",
+                                 "BatchCommit", "BatchAbort",  "ActPrepare",
+                                 "ActCoordPrepare", "ActCommit", "ActCoordCommit",
+                                 "ActAbort", "Checkpoint"};
+  std::string out = kNames[static_cast<int>(type)];
+  out += " id=" + std::to_string(id);
+  out += " actor=" + actor.ToString();
+  if (!participants.empty()) {
+    out += " parts=" + std::to_string(participants.size());
+  }
+  if (!state.empty()) out += " state_bytes=" + std::to_string(state.size());
+  return out;
+}
+
+void FrameRecord(const LogRecord& record, std::string* dst) {
+  std::string payload;
+  record.EncodeTo(&payload);
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, crc32c::Mask(crc32c::Value(payload)));
+  dst->append(payload);
+}
+
+Status LogCursor::Next(LogRecord* record) {
+  if (rest_.empty()) return Status::NotFound("end of log");
+  std::string_view in = rest_;
+  uint32_t len, masked_crc;
+  if (!GetFixed32(&in, &len) || !GetFixed32(&in, &masked_crc)) {
+    return Status::Corruption("torn frame header");
+  }
+  if (in.size() < len) return Status::Corruption("torn frame body");
+  std::string_view payload = in.substr(0, len);
+  if (crc32c::Value(payload) != crc32c::Unmask(masked_crc)) {
+    return Status::Corruption("crc mismatch");
+  }
+  if (!record->DecodeFrom(payload)) {
+    return Status::Corruption("malformed payload");
+  }
+  rest_ = in.substr(len);
+  return Status::OK();
+}
+
+}  // namespace snapper

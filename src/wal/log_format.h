@@ -1,0 +1,70 @@
+// WAL record schema. One framing for all of Snapper's log writers: PACT
+// coordinators and actors (paper Fig. 6), ACT participants and their 2PC
+// coordinator (paper Fig. 7), plus the OrleansTxn baseline.
+//
+// Physical framing per record:   [len u32][masked crc32c u32][payload]
+// Payload:                       [type u8][fields ...]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "actor/actor.h"
+#include "common/status.h"
+
+namespace snapper {
+
+/// Record types (wire-stable).
+enum class LogRecordType : uint8_t {
+  // --- PACT (Fig. 6) ---
+  kBatchInfo = 1,      ///< Coordinator, before emitting a batch: bid + actors.
+  kBatchComplete = 2,  ///< Actor, before acking: bid + actor + state snapshot.
+  kBatchCommit = 3,    ///< Coordinator, before confirming: bid.
+  kBatchAbort = 4,     ///< Coordinator: batch (and its successors) aborted.
+  // --- ACT (Fig. 7) ---
+  kActPrepare = 5,      ///< Participant actor: tid + actor + state snapshot.
+  kActCoordPrepare = 6, ///< 2PC coordinator (first actor): tid + participants.
+  kActCommit = 7,       ///< Participant actor: tid.
+  kActCoordCommit = 8,  ///< 2PC coordinator: tid.
+  kActAbort = 9,        ///< Any party: tid (presumed abort: often omitted).
+  // --- Recovery ---
+  kCheckpoint = 10,     ///< Recovered committed state re-persisted on reopen.
+};
+
+/// A decoded WAL record. Unused fields are empty/zero depending on type.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBatchInfo;
+  uint64_t id = 0;           ///< bid for batch records, tid for ACT records.
+  ActorId actor;             ///< Writing actor (state-bearing records).
+  std::vector<ActorId> participants;  ///< kBatchInfo / kActCoordPrepare.
+  std::string state;         ///< Serialized actor state snapshot ("" = none).
+
+  void EncodeTo(std::string* dst) const;
+  /// Decodes a payload (without framing). Returns false on malformed input.
+  bool DecodeFrom(std::string_view payload);
+
+  std::string ToString() const;
+};
+
+/// Appends a fully framed record (length + CRC + payload) to `*dst`.
+void FrameRecord(const LogRecord& record, std::string* dst);
+
+/// Streaming reader over a log file's contents. Stops cleanly at the first
+/// torn/corrupt frame (everything after an unsynced tail is ignored, as in
+/// ARIES-style recovery).
+class LogCursor {
+ public:
+  explicit LogCursor(std::string_view data) : rest_(data) {}
+
+  /// Reads the next record. Returns OK and fills `*record`, or NotFound at
+  /// clean end-of-log, or Corruption for a damaged frame (recovery treats
+  /// Corruption as end-of-log too, but the caller can distinguish).
+  Status Next(LogRecord* record);
+
+ private:
+  std::string_view rest_;
+};
+
+}  // namespace snapper

@@ -1,0 +1,117 @@
+#include "wal/logger.h"
+
+#include <cassert>
+
+namespace snapper {
+
+Logger::Logger(std::string file_name, Env* env,
+               std::shared_ptr<Strand> strand)
+    : file_name_(std::move(file_name)), env_(env), strand_(std::move(strand)) {}
+
+Future<Status> Logger::Append(LogRecord record) {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+  strand_->Post([this, record = std::move(record),
+                 promise = std::move(promise)]() mutable {
+    FrameRecord(record, &pending_);
+    waiters_.push_back(std::move(promise));
+    num_records_.fetch_add(1);
+    ScheduleFlushLocked();
+  });
+  return future;
+}
+
+Future<Status> Logger::Flush() {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+  strand_->Post([this, promise = std::move(promise)]() mutable {
+    if (pending_.empty()) {
+      promise.Set(file_ ? open_status_ : Status::OK());
+      return;
+    }
+    waiters_.push_back(std::move(promise));
+    ScheduleFlushLocked();
+  });
+  return future;
+}
+
+void Logger::ScheduleFlushLocked() {
+  // Runs on the strand. Defer the actual write to a separate strand task so
+  // that appends posted in the meantime join this flush group.
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  strand_->Post([this]() { DoFlush(); });
+}
+
+void Logger::DoFlush() {
+  flush_scheduled_ = false;
+  if (pending_.empty()) return;
+  if (!file_ && open_status_.ok()) {
+    open_status_ = env_->NewWritableFile(file_name_, &file_);
+  }
+  if (!open_status_.ok()) {
+    std::vector<Promise<Status>> waiters;
+    waiters.swap(waiters_);
+    pending_.clear();
+    for (auto& w : waiters) w.Set(open_status_);
+    return;
+  }
+  std::string batch;
+  batch.swap(pending_);
+  std::vector<Promise<Status>> waiters;
+  waiters.swap(waiters_);
+
+  Status s = file_->Append(batch);
+  if (s.ok()) s = file_->Sync();
+  num_syncs_.fetch_add(1);
+  bytes_written_.fetch_add(batch.size());
+  for (auto& w : waiters) w.Set(s);
+}
+
+LogManager::LogManager(Options options, Env* env, Executor* executor)
+    : options_(options) {
+  assert(options_.num_loggers >= 1);
+  loggers_.reserve(options_.num_loggers);
+  for (size_t i = 0; i < options_.num_loggers; ++i) {
+    loggers_.push_back(std::make_unique<Logger>(
+        "wal-" + std::to_string(i) + ".log", env,
+        std::make_shared<Strand>(executor)));
+  }
+}
+
+Logger& LogManager::LoggerFor(const ActorId& id) {
+  return *loggers_[ActorIdHash()(id) % loggers_.size()];
+}
+
+Logger& LogManager::LoggerForCoordinator(uint64_t index) {
+  return *loggers_[index % loggers_.size()];
+}
+
+Future<Status> LogManager::Append(const ActorId& id, LogRecord record) {
+  if (!options_.enable_logging) {
+    Promise<Status> p;
+    p.Set(Status::OK());
+    return p.GetFuture();
+  }
+  return LoggerFor(id).Append(std::move(record));
+}
+
+uint64_t LogManager::TotalRecords() const {
+  uint64_t total = 0;
+  for (const auto& l : loggers_) total += l->num_records();
+  return total;
+}
+
+uint64_t LogManager::TotalSyncs() const {
+  uint64_t total = 0;
+  for (const auto& l : loggers_) total += l->num_syncs();
+  return total;
+}
+
+uint64_t LogManager::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& l : loggers_) total += l->bytes_written();
+  return total;
+}
+
+}  // namespace snapper

@@ -1,0 +1,11 @@
+#include "workloads/smallbank.h"
+
+namespace snapper::smallbank {
+
+uint32_t RegisterSmallBank(SnapperRuntime& runtime) {
+  return runtime.RegisterActorType("SmallBankAccount", [](uint64_t) {
+    return std::make_shared<SmallBankActor>();
+  });
+}
+
+}  // namespace snapper::smallbank

@@ -1,0 +1,33 @@
+// SmallBank on Snapper: the SmallBankLogic template instantiated over
+// TransactionalActor, plus registration and input-building helpers. See
+// smallbank_logic.h for the operation semantics.
+#pragma once
+
+#include "snapper/snapper_runtime.h"
+#include "snapper/transactional_actor.h"
+#include "workloads/smallbank_logic.h"
+
+namespace snapper::smallbank {
+
+class SmallBankActor : public SmallBankLogic<TransactionalActor> {
+ public:
+  /// Legacy aliases kept as members for test/bench readability.
+  static Value MultiTransferInput(double amount,
+                                  const std::vector<uint64_t>& tos) {
+    return smallbank::MultiTransferInput(amount, tos);
+  }
+  static Value MultiTransferMixedInput(double amount,
+                                       const std::vector<uint64_t>& rw,
+                                       const std::vector<uint64_t>& noop) {
+    return smallbank::MultiTransferMixedInput(amount, rw, noop);
+  }
+  static ActorAccessInfo MultiTransferAccessInfo(
+      uint32_t actor_type, uint64_t from, const std::vector<uint64_t>& tos) {
+    return smallbank::MultiTransferAccessInfo(actor_type, from, tos);
+  }
+};
+
+/// Registers the SmallBank actor type; returns its type id.
+uint32_t RegisterSmallBank(SnapperRuntime& runtime);
+
+}  // namespace snapper::smallbank

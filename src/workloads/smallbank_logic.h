@@ -1,0 +1,261 @@
+// SmallBank workload logic (paper §5.1.1), parameterized over the engine's
+// actor base class so the identical transaction code runs on Snapper
+// (TransactionalActor) and on the OrleansTxn baseline (OtxnActor) — the
+// paper compares the same workload across both systems.
+//
+// The Base class must provide: RegisterMethod(name, fn), GetState(ctx,
+// mode) -> Task<Value*>, CallActor / CallActorAsync, id(), and virtual
+// InitialState().
+//
+// Input/output conventions (Value maps):
+//   Balance            {}                      -> double (checking+savings)
+//   DepositChecking    {"amount": d}           -> double (new checking)
+//   TransactSaving     {"amount": d}           -> double (new savings)
+//   WriteCheck         {"amount": d}           -> double (new checking)
+//   Amalgamate         {"to": key}             -> null
+//   MultiTransfer      {"amount": d, "to": [keys]} -> double (new checking)
+//   NoOp               {}                      -> null
+//   MultiTransferMixed {"amount": d, "to": [keys], "noop": [keys]} -> double
+#pragma once
+
+#include <vector>
+
+#include "async/task.h"
+#include "common/value.h"
+#include "snapper/txn_types.h"
+
+namespace snapper::smallbank {
+
+// Large opening balances so that skewed transfer workloads do not drain hot
+// accounts into user-abort storms within a bench run (the balance performs a
+// random walk; overdraft aborts are exercised explicitly by tests instead).
+inline constexpr double kInitialChecking = 1e7;
+inline constexpr double kInitialSavings = 1e7;
+
+inline double Checking(const Value& state) {
+  return state["checking"].AsDouble();
+}
+inline double Savings(const Value& state) { return state["savings"].AsDouble(); }
+inline void SetChecking(Value& state, double v) {
+  state.AsMap()["checking"] = v;
+}
+inline void SetSavings(Value& state, double v) { state.AsMap()["savings"] = v; }
+
+/// Input payload helpers shared by benches/tests.
+inline Value MultiTransferInput(double amount,
+                                const std::vector<uint64_t>& tos) {
+  ValueList to_list;
+  to_list.reserve(tos.size());
+  for (uint64_t to : tos) to_list.push_back(Value(to));
+  return Value(
+      ValueMap{{"amount", Value(amount)}, {"to", Value(std::move(to_list))}});
+}
+
+inline Value MultiTransferMixedInput(double amount,
+                                     const std::vector<uint64_t>& rw,
+                                     const std::vector<uint64_t>& noop) {
+  ValueList rw_list, noop_list;
+  for (uint64_t k : rw) rw_list.push_back(Value(k));
+  for (uint64_t k : noop) noop_list.push_back(Value(k));
+  return Value(ValueMap{{"amount", Value(amount)},
+                        {"to", Value(std::move(rw_list))},
+                        {"noop", Value(std::move(noop_list))}});
+}
+
+/// actorAccessInfo for a MultiTransfer rooted at `from` touching `tos`, for
+/// PACT submission. Counts accumulate so repeated keys declare repeated
+/// accesses. Workload generators must not pick `from` among `tos`: a PACT
+/// invocation that awaits a nested call to its own actor cannot complete
+/// before the nested access runs, which the deterministic schedule forbids.
+inline ActorAccessInfo MultiTransferAccessInfo(
+    uint32_t actor_type, uint64_t from, const std::vector<uint64_t>& tos) {
+  ActorAccessInfo info;
+  info[ActorId{actor_type, from}] += 1;
+  for (uint64_t to : tos) info[ActorId{actor_type, to}] += 1;
+  return info;
+}
+
+template <typename Base>
+class SmallBankLogic : public Base {
+ public:
+  SmallBankLogic() {
+    this->RegisterMethod("Balance", [this](TxnContext& ctx, Value in) {
+      return Balance(ctx, std::move(in));
+    });
+    this->RegisterMethod("DepositChecking", [this](TxnContext& ctx, Value in) {
+      return DepositChecking(ctx, std::move(in));
+    });
+    this->RegisterMethod("TransactSaving", [this](TxnContext& ctx, Value in) {
+      return TransactSaving(ctx, std::move(in));
+    });
+    this->RegisterMethod("WriteCheck", [this](TxnContext& ctx, Value in) {
+      return WriteCheck(ctx, std::move(in));
+    });
+    this->RegisterMethod("Amalgamate", [this](TxnContext& ctx, Value in) {
+      return Amalgamate(ctx, std::move(in));
+    });
+    this->RegisterMethod("MultiTransfer", [this](TxnContext& ctx, Value in) {
+      return MultiTransfer(ctx, std::move(in));
+    });
+    this->RegisterMethod("NoOp", [this](TxnContext& ctx, Value in) {
+      return NoOp(ctx, std::move(in));
+    });
+    this->RegisterMethod("MultiTransferMixed",
+                         [this](TxnContext& ctx, Value in) {
+                           return MultiTransferMixed(ctx, std::move(in));
+                         });
+    this->RegisterMethod("MultiTransferOrdered",
+                         [this](TxnContext& ctx, Value in) {
+                           return MultiTransferOrdered(ctx, std::move(in));
+                         });
+  }
+
+  Value InitialState() const override {
+    return Value(ValueMap{{"checking", Value(kInitialChecking)},
+                          {"savings", Value(kInitialSavings)}});
+  }
+
+ private:
+  Task<Value> Balance(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kRead);
+    co_return Value(Checking(*state) + Savings(*state));
+  }
+
+  Task<Value> DepositChecking(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double amount = input["amount"].AsDouble();
+    SetChecking(*state, Checking(*state) + amount);
+    co_return Value(Checking(*state));
+  }
+
+  Task<Value> TransactSaving(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double amount = input["amount"].AsDouble();
+    const double updated = Savings(*state) + amount;
+    if (updated < 0) {
+      throw TxnAbort(Status::TxnAborted(AbortReason::kUserAbort,
+                                        "savings balance insufficient"));
+    }
+    SetSavings(*state, updated);
+    co_return Value(updated);
+  }
+
+  Task<Value> WriteCheck(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double amount = input["amount"].AsDouble();
+    double checking = Checking(*state);
+    // Classic SmallBank: overdrafts incur a $1 penalty instead of aborting.
+    checking -= (checking + Savings(*state) < amount) ? amount + 1 : amount;
+    SetChecking(*state, checking);
+    co_return Value(checking);
+  }
+
+  Task<Value> Amalgamate(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double total = Checking(*state) + Savings(*state);
+    SetChecking(*state, 0.0);
+    SetSavings(*state, 0.0);
+    const ActorId to{this->id().type,
+                     static_cast<uint64_t>(input["to"].AsInt())};
+    FuncCall deposit;
+    deposit.method = "DepositChecking";
+    deposit.input = Value(ValueMap{{"amount", Value(total)}});
+    co_await this->CallActor(ctx, to, std::move(deposit));
+    co_return Value();
+  }
+
+  Task<Value> MultiTransfer(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double amount = input["amount"].AsDouble();
+    const ValueList& tos = input["to"].AsList();
+    const double total = amount * static_cast<double>(tos.size());
+    if (Checking(*state) < total) {
+      throw TxnAbort(Status::TxnAborted(AbortReason::kUserAbort,
+                                        "checking balance insufficient"));
+    }
+    SetChecking(*state, Checking(*state) - total);
+
+    // Deposits fan out in parallel (§5.1.1).
+    Value deposit_input(ValueMap{{"amount", Value(amount)}});
+    std::vector<Future<Value>> deposits;
+    deposits.reserve(tos.size());
+    for (const Value& to : tos) {
+      const ActorId target{this->id().type,
+                           static_cast<uint64_t>(to.AsInt())};
+      FuncCall deposit;
+      deposit.method = "DepositChecking";
+      deposit.input = deposit_input;
+      deposits.push_back(
+          this->CallActorAsync(ctx, target, std::move(deposit)));
+    }
+    for (auto& d : deposits) co_await d;
+    co_return Value(Checking(*state));
+  }
+
+  /// Deadlock-free MultiTransfer variant (§5.2.2's "deadlock-free workload"):
+  /// deposits are performed *sequentially in ascending actor order*, so all
+  /// transactions acquire locks in one global order. Generators pair it with
+  /// `from == min(actors)`.
+  Task<Value> MultiTransferOrdered(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double amount = input["amount"].AsDouble();
+    ValueList tos = input["to"].AsList();
+    std::sort(tos.begin(), tos.end(), [](const Value& a, const Value& b) {
+      return a.AsInt() < b.AsInt();
+    });
+    const double total = amount * static_cast<double>(tos.size());
+    if (Checking(*state) < total) {
+      throw TxnAbort(Status::TxnAborted(AbortReason::kUserAbort,
+                                        "checking balance insufficient"));
+    }
+    SetChecking(*state, Checking(*state) - total);
+    Value deposit_input(ValueMap{{"amount", Value(amount)}});
+    for (const Value& to : tos) {
+      const ActorId target{this->id().type,
+                           static_cast<uint64_t>(to.AsInt())};
+      FuncCall deposit;
+      deposit.method = "DepositChecking";
+      deposit.input = deposit_input;
+      co_await this->CallActor(ctx, target, std::move(deposit));
+    }
+    co_return Value(Checking(*state));
+  }
+
+  Task<Value> NoOp(TxnContext& ctx, Value input) {
+    // Deliberately no GetState: a no-op participant performs a grain call
+    // but stays out of locking, logging, and the commit protocol (§5.2.3).
+    co_return Value();
+  }
+
+  Task<Value> MultiTransferMixed(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    const double amount = input["amount"].AsDouble();
+    const ValueList& rw = input["to"].AsList();
+    const ValueList& noop = input["noop"].AsList();
+    SetChecking(*state,
+                Checking(*state) - amount * static_cast<double>(rw.size()));
+
+    Value deposit_input(ValueMap{{"amount", Value(amount)}});
+    std::vector<Future<Value>> calls;
+    calls.reserve(rw.size() + noop.size());
+    for (const Value& to : rw) {
+      const ActorId target{this->id().type,
+                           static_cast<uint64_t>(to.AsInt())};
+      FuncCall deposit;
+      deposit.method = "DepositChecking";
+      deposit.input = deposit_input;
+      calls.push_back(this->CallActorAsync(ctx, target, std::move(deposit)));
+    }
+    for (const Value& to : noop) {
+      const ActorId target{this->id().type,
+                           static_cast<uint64_t>(to.AsInt())};
+      FuncCall noop_call;
+      noop_call.method = "NoOp";
+      calls.push_back(this->CallActorAsync(ctx, target, std::move(noop_call)));
+    }
+    for (auto& c : calls) co_await c;
+    co_return Value(Checking(*state));
+  }
+};
+
+}  // namespace snapper::smallbank

@@ -1,0 +1,107 @@
+#include "workloads/tpcc.h"
+
+#include <set>
+
+namespace snapper::tpcc {
+
+TpccTypes RegisterTpcc(SnapperRuntime& runtime) {
+  TpccTypes types;
+  types.warehouse = runtime.RegisterActorType("TpccWarehouse", [](uint64_t) {
+    return std::make_shared<WarehouseActor>();
+  });
+  types.district = runtime.RegisterActorType("TpccDistrict", [](uint64_t) {
+    return std::make_shared<DistrictActor>();
+  });
+  types.stock = runtime.RegisterActorType("TpccStockPartition", [](uint64_t) {
+    return std::make_shared<StockPartitionActor>();
+  });
+  types.item = runtime.RegisterActorType("TpccItemPartition", [](uint64_t) {
+    return std::make_shared<ItemPartitionActor>();
+  });
+  types.customer =
+      runtime.RegisterActorType("TpccCustomerPartition", [](uint64_t) {
+        return std::make_shared<CustomerPartitionActor>();
+      });
+  types.order = runtime.RegisterActorType("TpccOrderPartition", [](uint64_t) {
+    return std::make_shared<OrderPartitionActor>();
+  });
+  return types;
+}
+
+NewOrderRequest MakeNewOrder(
+    const TpccTypes& types, const TpccLayout& layout, Rng& rng,
+    const std::function<uint64_t(Rng&)>& pick_warehouse) {
+  const uint64_t w = pick_warehouse(rng);
+  const int d = static_cast<int>(rng.Uniform(
+      static_cast<uint64_t>(layout.districts_per_warehouse)));
+  const uint64_t c = rng.Uniform(3000);
+  const int ol_cnt = static_cast<int>(
+      rng.UniformRange(layout.min_ol_cnt, layout.max_ol_cnt));
+
+  std::set<uint64_t> picked;
+  ValueList lines;
+  for (int i = 0; i < ol_cnt; ++i) {
+    uint64_t item;
+    do {
+      item = rng.Uniform(layout.num_items);
+    } while (!picked.insert(item).second);
+    uint64_t supply_w = w;
+    if (layout.num_warehouses > 1 &&
+        rng.Bernoulli(layout.remote_stock_probability)) {
+      do {
+        supply_w = rng.Uniform(layout.num_warehouses);
+      } while (supply_w == w);
+    }
+    lines.push_back(Value(ValueMap{
+        {"item", Value(item)},
+        {"supply_w", Value(supply_w)},
+        {"qty", Value(static_cast<int64_t>(1 + rng.Uniform(10)))}}));
+  }
+
+  NewOrderRequest request;
+  request.root = ActorId{types.district, layout.PartKey(w, d)};
+  request.info[request.root] += 1;
+  request.info[ActorId{types.warehouse, layout.WarehouseKey(w)}] += 1;
+  request.info[ActorId{types.customer,
+                       layout.PartKey(w, layout.CustomerPartitionOf(d))}] += 1;
+  request.info[ActorId{types.order,
+                       layout.PartKey(w, layout.OrderPartitionOf(d))}] += 1;
+  std::set<std::pair<uint64_t, int>> stock_parts;
+  std::set<int> item_parts;
+  for (const Value& line : lines) {
+    const uint64_t item = static_cast<uint64_t>(line["item"].AsInt());
+    const uint64_t supply_w = static_cast<uint64_t>(line["supply_w"].AsInt());
+    item_parts.insert(layout.ItemPartitionOf(item));
+    stock_parts.insert({supply_w, layout.StockPartitionOf(item)});
+  }
+  for (int part : item_parts) {
+    request.info[ActorId{types.item, layout.PartKey(w, part)}] += 1;
+  }
+  for (const auto& [sw, part] : stock_parts) {
+    request.info[ActorId{types.stock, layout.PartKey(sw, part)}] += 1;
+  }
+
+  request.input = Value(ValueMap{
+      {"w", Value(w)},
+      {"d", Value(int64_t{d})},
+      {"c", Value(c)},
+      {"lines", Value(std::move(lines))},
+      {"layout",
+       Value(ValueMap{
+           {"stock_parts",
+            Value(int64_t{layout.stock_partitions_per_warehouse})},
+           {"item_parts", Value(int64_t{layout.item_partitions_per_warehouse})},
+           {"customer_parts",
+            Value(int64_t{layout.customer_partitions_per_warehouse})},
+           {"order_parts",
+            Value(int64_t{layout.order_partitions_per_warehouse})}})},
+      {"types",
+       Value(ValueMap{{"warehouse", Value(uint64_t{types.warehouse})},
+                      {"stock", Value(uint64_t{types.stock})},
+                      {"item", Value(uint64_t{types.item})},
+                      {"customer", Value(uint64_t{types.customer})},
+                      {"order", Value(uint64_t{types.order})}})}});
+  return request;
+}
+
+}  // namespace snapper::tpcc

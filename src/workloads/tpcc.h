@@ -1,0 +1,47 @@
+// TPC-C on Snapper: registration of the five actor types of the Fig. 18
+// layout and the NewOrder request generator used by tests and benches.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "snapper/snapper_runtime.h"
+#include "workloads/tpcc_logic.h"
+
+namespace snapper::tpcc {
+
+using WarehouseActor = WarehouseLogic<TransactionalActor>;
+using DistrictActor = DistrictLogic<TransactionalActor>;
+using StockPartitionActor = StockPartitionLogic<TransactionalActor>;
+using ItemPartitionActor = ItemPartitionLogic<TransactionalActor>;
+using CustomerPartitionActor = CustomerPartitionLogic<TransactionalActor>;
+using OrderPartitionActor = OrderPartitionLogic<TransactionalActor>;
+
+struct TpccTypes {
+  uint32_t warehouse = 0;  ///< read-only in NewOrder (w_tax)
+  uint32_t district = 0;   ///< NewOrder root (next_o_id)
+  uint32_t stock = 0;
+  uint32_t item = 0;
+  uint32_t customer = 0;
+  uint32_t order = 0;
+};
+
+/// Registers all five TPC-C actor types with the Snapper runtime.
+TpccTypes RegisterTpcc(SnapperRuntime& runtime);
+
+/// A fully-formed NewOrder transaction: root actor, method input, and the
+/// pre-declared actorAccessInfo (for PACT submission; ACTs ignore it).
+struct NewOrderRequest {
+  ActorId root;
+  Value input;
+  ActorAccessInfo info;
+};
+
+/// Builds a random NewOrder. `pick_warehouse` controls the home-warehouse
+/// distribution (the skew dimension of Fig. 17b is controlled separately by
+/// `layout.order_partitions_per_warehouse`).
+NewOrderRequest MakeNewOrder(const TpccTypes& types, const TpccLayout& layout,
+                             Rng& rng,
+                             const std::function<uint64_t(Rng&)>& pick_warehouse);
+
+}  // namespace snapper::tpcc

@@ -1,0 +1,371 @@
+// TPC-C NewOrder workload over actors, following the paper's layout
+// (§5.1.1, §5.4.2, Fig. 18): a warehouse is an actor holding the warehouse
+// and district rows; the stock table is partitioned across multiple actors;
+// item and customer tables are read-only partitions; the order/new-order/
+// order-line tables live in order-partition actors whose count is the
+// contention knob of Fig. 17b ("varying the number of partitions of the
+// Order table").
+//
+// A NewOrder accesses: 1 warehouse actor (RW: district next_o_id), 1
+// customer partition (RO), the item partitions covering its lines (RO), the
+// stock partitions covering its lines (RW), and 1 order partition (RW,
+// chosen by district so PACTs can pre-declare it). With default parameters
+// that is ~15 actors, ~3 of them read-only, matching §5.4.2.
+//
+// Like the paper's implementation, actors log their whole state as a value
+// blob (no data model / incremental logging, §5.4.2); to keep that blob
+// bounded in long runs, order partitions retain only the most recent
+// kOrderHistory orders.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "async/task.h"
+#include "common/rng.h"
+#include "common/value.h"
+#include "snapper/txn_types.h"
+
+namespace snapper::tpcc {
+
+/// Static layout parameters (Fig. 18's partitioning table).
+struct TpccLayout {
+  uint64_t num_warehouses = 2;
+  int districts_per_warehouse = 10;
+  /// Finer stock partitioning approximates row-granularity locking for ACTs
+  /// (each partition actor is one lock); coarser values inflate false
+  /// conflicts.
+  int stock_partitions_per_warehouse = 128;
+  int item_partitions_per_warehouse = 2;    // read-only
+  int customer_partitions_per_warehouse = 1;  // read-only
+  /// Fig. 17b's skew knob: 1 partition serializes all districts' inserts
+  /// (high skew); == districts_per_warehouse gives each district its own
+  /// partition (low skew).
+  int order_partitions_per_warehouse = 10;
+  uint64_t num_items = 100000;
+  /// Order lines per NewOrder are uniform in [min_ol_cnt, max_ol_cnt].
+  int min_ol_cnt = 5;
+  int max_ol_cnt = 15;
+  /// Probability that a line's stock comes from a remote warehouse.
+  double remote_stock_probability = 0.01;
+
+  /// Actor keys encode (warehouse, partition index).
+  uint64_t WarehouseKey(uint64_t w) const { return w; }
+  uint64_t PartKey(uint64_t w, int part) const { return w * 1024 + part; }
+  int StockPartitionOf(uint64_t item) const {
+    return static_cast<int>(item % stock_partitions_per_warehouse);
+  }
+  int ItemPartitionOf(uint64_t item) const {
+    return static_cast<int>(item % item_partitions_per_warehouse);
+  }
+  int CustomerPartitionOf(int district) const {
+    return district % customer_partitions_per_warehouse;
+  }
+  int OrderPartitionOf(int district) const {
+    return district % order_partitions_per_warehouse;
+  }
+};
+
+/// Deterministic synthetic rows (no external data needed; reproducible).
+inline double ItemPrice(uint64_t item) {
+  return 1.0 + static_cast<double>((item * 2654435761u) % 9900) / 100.0;
+}
+inline double CustomerDiscount(uint64_t w, int d, uint64_t c) {
+  return static_cast<double>((w * 131 + d * 17 + c) % 50) / 1000.0;
+}
+inline int64_t InitialStockQuantity(uint64_t item) {
+  return 10 + static_cast<int64_t>((item * 40503u) % 91);
+}
+
+inline constexpr size_t kOrderHistory = 64;
+
+/// One NewOrder request line.
+struct OrderLine {
+  uint64_t item = 0;
+  uint64_t supply_warehouse = 0;
+  int quantity = 0;
+};
+
+/// Warehouse actor: the warehouse row only (w_tax) — read-only in NewOrder.
+/// District rows live in their own actors so that, as in real TPC-C,
+/// NewOrder contention is per district rather than per warehouse.
+template <typename Base>
+class WarehouseLogic : public Base {
+ public:
+  WarehouseLogic() {
+    this->RegisterMethod("ReadWarehouse", [this](TxnContext& ctx, Value in) {
+      return ReadWarehouse(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    return Value(ValueMap{
+        {"w_tax",
+         Value(static_cast<double>(this->id().key % 10) / 100.0)}});
+  }
+
+ private:
+  Task<Value> ReadWarehouse(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kRead);
+    co_return (*state)["w_tax"];
+  }
+};
+
+/// District actor: d_tax + next_o_id (RW) — the root of NewOrder. Its key is
+/// layout.PartKey(warehouse, district).
+template <typename Base>
+class DistrictLogic : public Base {
+ public:
+  DistrictLogic() {
+    this->RegisterMethod("NewOrder", [this](TxnContext& ctx, Value in) {
+      return NewOrder(ctx, std::move(in));
+    });
+    this->RegisterMethod("ReadDistrict", [this](TxnContext& ctx, Value in) {
+      return ReadDistrict(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    const uint64_t key = this->id().key;
+    return Value(ValueMap{
+        {"d_tax", Value(static_cast<double>(key % 20) / 100.0)},
+        {"next_o_id", Value(int64_t{1})}});
+  }
+
+ private:
+  // Input: {"w": warehouse, "d": district, "c": customer,
+  //         "layout": {..partition counts..},
+  //         "lines": [{"item","supply_w","qty"}...],
+  //         "types": {"warehouse","stock","item","customer","order"}}
+  Task<Value> NewOrder(TxnContext& ctx, Value input);
+
+  Task<Value> ReadDistrict(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kRead);
+    co_return *state;
+  }
+};
+
+/// Stock partition actor (RW).
+template <typename Base>
+class StockPartitionLogic : public Base {
+ public:
+  StockPartitionLogic() {
+    this->RegisterMethod("UpdateStock", [this](TxnContext& ctx, Value in) {
+      return UpdateStock(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    return Value(ValueMap{{"stock", Value(ValueMap{})}});
+  }
+
+ private:
+  // Input: {"items": [{"item": id, "qty": q}...]} -> total quantity left.
+  Task<Value> UpdateStock(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    ValueMap& stock = state->AsMap()["stock"].AsMap();
+    int64_t total_left = 0;
+    for (const Value& line : input["items"].AsList()) {
+      const uint64_t item = static_cast<uint64_t>(line["item"].AsInt());
+      const int64_t qty = line["qty"].AsInt();
+      const std::string key = std::to_string(item);
+      auto it = stock.find(key);
+      int64_t current =
+          it == stock.end() ? InitialStockQuantity(item) : it->second.AsInt();
+      // TPC-C stock update: decrement, restock by 91 when under 10.
+      current = current >= qty + 10 ? current - qty : current - qty + 91;
+      stock[key] = Value(current);
+      total_left += current;
+    }
+    co_return Value(total_left);
+  }
+};
+
+/// Item partition actor (read-only).
+template <typename Base>
+class ItemPartitionLogic : public Base {
+ public:
+  ItemPartitionLogic() {
+    this->RegisterMethod("ReadItems", [this](TxnContext& ctx, Value in) {
+      return ReadItems(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override { return Value(ValueMap{}); }
+
+ private:
+  // Input: {"items": [ids]} -> {"prices": [doubles]}
+  Task<Value> ReadItems(TxnContext& ctx, Value input) {
+    co_await this->GetState(ctx, AccessMode::kRead);
+    ValueList prices;
+    for (const Value& item : input["items"].AsList()) {
+      prices.push_back(
+          Value(ItemPrice(static_cast<uint64_t>(item.AsInt()))));
+    }
+    co_return Value(ValueMap{{"prices", Value(std::move(prices))}});
+  }
+};
+
+/// Customer partition actor (read-only in NewOrder).
+template <typename Base>
+class CustomerPartitionLogic : public Base {
+ public:
+  CustomerPartitionLogic() {
+    this->RegisterMethod("ReadCustomer", [this](TxnContext& ctx, Value in) {
+      return ReadCustomer(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override { return Value(ValueMap{}); }
+
+ private:
+  // Input: {"w": warehouse, "d": district, "c": customer} -> discount.
+  Task<Value> ReadCustomer(TxnContext& ctx, Value input) {
+    co_await this->GetState(ctx, AccessMode::kRead);
+    co_return Value(CustomerDiscount(
+        static_cast<uint64_t>(input["w"].AsInt()),
+        static_cast<int>(input["d"].AsInt()),
+        static_cast<uint64_t>(input["c"].AsInt())));
+  }
+};
+
+/// Order partition actor: order + new-order + order-line inserts (RW).
+template <typename Base>
+class OrderPartitionLogic : public Base {
+ public:
+  OrderPartitionLogic() {
+    this->RegisterMethod("InsertOrder", [this](TxnContext& ctx, Value in) {
+      return InsertOrder(ctx, std::move(in));
+    });
+  }
+
+  Value InitialState() const override {
+    return Value(ValueMap{{"orders", Value(ValueList{})},
+                          {"total_orders", Value(int64_t{0})},
+                          {"total_lines", Value(int64_t{0})}});
+  }
+
+ private:
+  // Input: {"o_id", "d", "c", "ol_cnt"} -> total orders in partition.
+  Task<Value> InsertOrder(TxnContext& ctx, Value input) {
+    Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+    ValueMap& m = state->AsMap();
+    ValueList& orders = m["orders"].AsList();
+    orders.push_back(input);
+    if (orders.size() > kOrderHistory) {
+      orders.erase(orders.begin());  // bound the logged blob (see header)
+    }
+    m["total_orders"] = Value(m["total_orders"].AsInt() + 1);
+    m["total_lines"] = Value(m["total_lines"].AsInt() + input["ol_cnt"].AsInt());
+    co_return m["total_orders"];
+  }
+};
+
+template <typename Base>
+Task<Value> DistrictLogic<Base>::NewOrder(TxnContext& ctx, Value input) {
+  const int d = static_cast<int>(input["d"].AsInt());
+  const uint64_t c = static_cast<uint64_t>(input["c"].AsInt());
+  const uint64_t w = static_cast<uint64_t>(input["w"].AsInt());
+  const Value& types = input["types"];
+  const uint32_t warehouse_type =
+      static_cast<uint32_t>(types["warehouse"].AsInt());
+  const uint32_t stock_type = static_cast<uint32_t>(types["stock"].AsInt());
+  const uint32_t item_type = static_cast<uint32_t>(types["item"].AsInt());
+  const uint32_t customer_type =
+      static_cast<uint32_t>(types["customer"].AsInt());
+  const uint32_t order_type = static_cast<uint32_t>(types["order"].AsInt());
+  TpccLayout layout;
+  layout.stock_partitions_per_warehouse =
+      static_cast<int>(input["layout"]["stock_parts"].AsInt());
+  layout.item_partitions_per_warehouse =
+      static_cast<int>(input["layout"]["item_parts"].AsInt());
+  layout.customer_partitions_per_warehouse =
+      static_cast<int>(input["layout"]["customer_parts"].AsInt());
+  layout.order_partitions_per_warehouse =
+      static_cast<int>(input["layout"]["order_parts"].AsInt());
+
+  // District bookkeeping on this actor's own state (d_tax, next o_id).
+  Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
+  ValueMap& sm = state->AsMap();
+  const double d_tax = sm["d_tax"].AsDouble();
+  const int64_t o_id = sm["next_o_id"].AsInt();
+  sm["next_o_id"] = Value(o_id + 1);
+
+  // Warehouse tax is a read-only lookup on the warehouse actor.
+  FuncCall read_warehouse;
+  read_warehouse.method = "ReadWarehouse";
+  Future<Value> w_tax_future = this->CallActorAsync(
+      ctx, ActorId{warehouse_type, layout.WarehouseKey(w)},
+      std::move(read_warehouse));
+
+  // Group lines per item partition and per (warehouse, stock partition).
+  const ValueList& lines = input["lines"].AsList();
+  std::map<int, ValueList> items_by_part;
+  std::map<std::pair<uint64_t, int>, ValueList> stock_by_part;
+  for (const Value& line : lines) {
+    const uint64_t item = static_cast<uint64_t>(line["item"].AsInt());
+    const uint64_t supply_w =
+        static_cast<uint64_t>(line["supply_w"].AsInt());
+    items_by_part[layout.ItemPartitionOf(item)].push_back(Value(item));
+    stock_by_part[{supply_w, layout.StockPartitionOf(item)}].push_back(
+        Value(ValueMap{{"item", Value(item)}, {"qty", line["qty"]}}));
+  }
+
+  // Fan out reads and stock updates in parallel.
+  std::vector<Future<Value>> price_futures;
+  for (auto& [part, ids] : items_by_part) {
+    FuncCall call;
+    call.method = "ReadItems";
+    call.input = Value(ValueMap{{"items", Value(std::move(ids))}});
+    price_futures.push_back(this->CallActorAsync(
+        ctx, ActorId{item_type, layout.PartKey(w, part)}, std::move(call)));
+  }
+  FuncCall customer_call;
+  customer_call.method = "ReadCustomer";
+  customer_call.input = Value(
+      ValueMap{{"w", Value(w)}, {"d", Value(int64_t{d})}, {"c", Value(c)}});
+  Future<Value> discount_future = this->CallActorAsync(
+      ctx,
+      ActorId{customer_type,
+              layout.PartKey(w, layout.CustomerPartitionOf(d))},
+      std::move(customer_call));
+  std::vector<Future<Value>> stock_futures;
+  for (auto& [wp, items] : stock_by_part) {
+    FuncCall call;
+    call.method = "UpdateStock";
+    call.input = Value(ValueMap{{"items", Value(std::move(items))}});
+    stock_futures.push_back(this->CallActorAsync(
+        ctx, ActorId{stock_type, layout.PartKey(wp.first, wp.second)},
+        std::move(call)));
+  }
+  FuncCall order_call;
+  order_call.method = "InsertOrder";
+  order_call.input = Value(ValueMap{
+      {"o_id", Value(o_id)},
+      {"d", Value(int64_t{d})},
+      {"c", Value(c)},
+      {"ol_cnt", Value(static_cast<int64_t>(lines.size()))}});
+  Future<Value> order_future = this->CallActorAsync(
+      ctx, ActorId{order_type, layout.PartKey(w, layout.OrderPartitionOf(d))},
+      std::move(order_call));
+
+  double item_total = 0;
+  for (auto& f : price_futures) {
+    Value prices = co_await f;
+    for (const Value& p : prices["prices"].AsList()) {
+      item_total += p.AsDouble();  // unit prices; quantities settled below
+    }
+  }
+  Value w_tax_value = co_await w_tax_future;
+  const double w_tax = w_tax_value.AsDouble();
+  Value discount_value = co_await discount_future;
+  const double discount = discount_value.AsDouble();
+  for (auto& f : stock_futures) co_await f;
+  co_await order_future;
+
+  const double total = item_total * (1.0 + w_tax + d_tax) * (1.0 - discount);
+  co_return Value(total);
+}
+
+}  // namespace snapper::tpcc

@@ -1,0 +1,193 @@
+#include "async/task.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "async/executor.h"
+#include "async/future.h"
+
+namespace snapper {
+namespace {
+
+class TaskTest : public ::testing::Test {
+ protected:
+  TaskTest() : ex_(2), strand_(std::make_shared<Strand>(&ex_)) {}
+  ~TaskTest() override { ex_.Stop(); }
+
+  Executor ex_;
+  std::shared_ptr<Strand> strand_;
+};
+
+Task<int> ReturnValue(int v) { co_return v; }
+
+TEST_F(TaskTest, StartProducesResult) {
+  auto f = ReturnValue(42).Start(*strand_);
+  EXPECT_EQ(f.Get(), 42);
+}
+
+Task<void> SideEffect(std::atomic<int>* counter) {
+  counter->fetch_add(1);
+  co_return;
+}
+
+TEST_F(TaskTest, VoidTask) {
+  std::atomic<int> counter{0};
+  auto f = SideEffect(&counter).Start(*strand_);
+  f.Get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+Task<int> Throwing() {
+  throw std::runtime_error("task failed");
+  co_return 0;  // unreachable
+}
+
+TEST_F(TaskTest, ExceptionFlowsToFuture) {
+  auto f = Throwing().Start(*strand_);
+  EXPECT_THROW(f.Get(), std::runtime_error);
+}
+
+TEST_F(TaskTest, UnstartedTaskIsDestroyedCleanly) {
+  { auto task = ReturnValue(1); }  // never started; frame must be freed
+  SUCCEED();
+}
+
+Task<int> AwaitsFuture(Future<int> f) {
+  int v = co_await f;
+  co_return v * 2;
+}
+
+TEST_F(TaskTest, AwaitPendingFuture) {
+  Promise<int> p;
+  auto f = AwaitsFuture(p.GetFuture()).Start(*strand_);
+  EXPECT_FALSE(f.ready());
+  p.Set(21);
+  EXPECT_EQ(f.Get(), 42);
+}
+
+TEST_F(TaskTest, AwaitReadyFutureFastPath) {
+  Promise<int> p;
+  p.Set(10);
+  auto f = AwaitsFuture(p.GetFuture()).Start(*strand_);
+  EXPECT_EQ(f.Get(), 20);
+}
+
+Task<int> AwaitsChild(int v) {
+  int doubled = co_await ReturnValue(v * 2);
+  co_return doubled + 1;
+}
+
+TEST_F(TaskTest, AwaitChildTask) {
+  auto f = AwaitsChild(5).Start(*strand_);
+  EXPECT_EQ(f.Get(), 11);
+}
+
+Task<int> DeepChain(int depth) {
+  if (depth == 0) co_return 0;
+  int below = co_await DeepChain(depth - 1);
+  co_return below + 1;
+}
+
+TEST_F(TaskTest, DeepAwaitChain) {
+  auto f = DeepChain(200).Start(*strand_);
+  EXPECT_EQ(f.Get(), 200);
+}
+
+Task<int> AwaitChildThrow() {
+  try {
+    co_await Throwing();
+    co_return -1;
+  } catch (const std::runtime_error&) {
+    co_return 99;
+  }
+}
+
+TEST_F(TaskTest, ChildExceptionCatchable) {
+  auto f = AwaitChildThrow().Start(*strand_);
+  EXPECT_EQ(f.Get(), 99);
+}
+
+// The defining property of strand-affine coroutines: after awaiting a future
+// resolved on a foreign thread, execution resumes on the owning strand.
+Task<Strand*> ObserveStrandAfterResume(Future<int> f) {
+  co_await f;
+  co_return Strand::Current();
+}
+
+TEST_F(TaskTest, ResumesOnOwningStrand) {
+  Promise<int> p;
+  auto f = ObserveStrandAfterResume(p.GetFuture()).Start(*strand_);
+  std::thread foreign([&p] { p.Set(1); });
+  EXPECT_EQ(f.Get(), strand_.get());
+  foreign.join();
+}
+
+// Reentrancy: while one coroutine on a strand is suspended, another can run.
+Task<int> WaitsFor(Future<int> f, std::atomic<int>* order, int tag) {
+  int v = co_await f;
+  order->store(tag);
+  co_return v;
+}
+
+Task<int> Immediate(std::atomic<int>* first_done) {
+  first_done->store(1);
+  co_return 7;
+}
+
+TEST_F(TaskTest, StrandIsReentrantAcrossSuspensions) {
+  Promise<int> p;
+  std::atomic<int> order{0};
+  std::atomic<int> first_done{0};
+  auto blocked = WaitsFor(p.GetFuture(), &order, 2).Start(*strand_);
+  auto quick = Immediate(&first_done).Start(*strand_);
+  // The second task completes while the first is suspended.
+  EXPECT_EQ(quick.Get(), 7);
+  EXPECT_EQ(first_done.load(), 1);
+  EXPECT_FALSE(blocked.ready());
+  p.Set(3);
+  EXPECT_EQ(blocked.Get(), 3);
+}
+
+Task<int> Fanout(Strand* strand) {
+  std::vector<Future<int>> children;
+  children.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    children.push_back(ReturnValue(i).Start(*strand));
+  }
+  int sum = 0;
+  for (auto& c : children) sum += co_await c;
+  co_return sum;
+}
+
+TEST_F(TaskTest, FanoutAndJoin) {
+  auto f = Fanout(strand_.get()).Start(*strand_);
+  EXPECT_EQ(f.Get(), 45);
+}
+
+TEST_F(TaskTest, ManyConcurrentTasksOnManyStrands) {
+  std::vector<std::shared_ptr<Strand>> strands;
+  for (int i = 0; i < 8; ++i) strands.push_back(std::make_shared<Strand>(&ex_));
+  std::vector<Future<int>> futures;
+  for (int i = 0; i < 400; ++i) {
+    futures.push_back(AwaitsChild(i).Start(*strands[i % strands.size()]));
+  }
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_EQ(futures[i].Get(), i * 2 + 1);
+  }
+}
+
+TEST_F(TaskTest, StartInlineRunsOnCurrentStrand) {
+  Promise<int> result;
+  strand_->Post([this, &result] {
+    auto f = ReturnValue(5).StartInline();
+    // Synchronous completion: no suspension points in ReturnValue.
+    result.Set(f.ready() ? f.Peek() : -1);
+  });
+  EXPECT_EQ(result.GetFuture().Get(), 5);
+}
+
+}  // namespace
+}  // namespace snapper

@@ -1,0 +1,109 @@
+#include "async/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace snapper {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(TimerTest, FiresAfterDelay) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  auto start = std::chrono::steady_clock::now();
+  timers.Schedule(milliseconds(30), [&fired] { fired.store(true); });
+  while (!fired.load()) std::this_thread::yield();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, milliseconds(25));
+}
+
+TEST(TimerTest, FiresInDeadlineOrder) {
+  TimerService timers;
+  std::vector<int> order;
+  std::mutex mu;
+  std::atomic<int> count{0};
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tag);
+    count.fetch_add(1);
+  };
+  timers.Schedule(milliseconds(60), [&] { record(3); });
+  timers.Schedule(milliseconds(20), [&] { record(1); });
+  timers.Schedule(milliseconds(40), [&] { record(2); });
+  while (count.load() < 3) std::this_thread::yield();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerTest, CancelPreventsFiring) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  TimerId id = timers.Schedule(milliseconds(50), [&] { fired.store(true); });
+  EXPECT_TRUE(timers.Cancel(id));
+  std::this_thread::sleep_for(milliseconds(80));
+  EXPECT_FALSE(fired.load());
+  EXPECT_FALSE(timers.Cancel(id));  // already gone
+}
+
+TEST(TimerTest, CancelAfterFireReturnsFalse) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  TimerId id = timers.Schedule(milliseconds(5), [&] { fired.store(true); });
+  while (!fired.load()) std::this_thread::yield();
+  EXPECT_FALSE(timers.Cancel(id));
+}
+
+TEST(TimerTest, StopDropsPending) {
+  std::atomic<bool> fired{false};
+  {
+    TimerService timers;
+    timers.Schedule(milliseconds(200), [&] { fired.store(true); });
+  }  // destructor stops
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(TimerTest, ManyTimersAllFire) {
+  TimerService timers;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    timers.Schedule(milliseconds(1 + i % 20), [&] { count.fetch_add(1); });
+  }
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(2000);
+  while (count.load() < 200 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(AwaitStatusWithTimeoutTest, ValueArrivesFirst) {
+  TimerService timers;
+  Promise<Status> p;
+  auto out = AwaitStatusWithTimeout(timers, p.GetFuture(), milliseconds(200));
+  p.Set(Status::OK());
+  EXPECT_TRUE(out.Get().ok());
+}
+
+TEST(AwaitStatusWithTimeoutTest, TimeoutWinsWhenPending) {
+  TimerService timers;
+  Promise<Status> p;
+  auto out = AwaitStatusWithTimeout(timers, p.GetFuture(), milliseconds(20));
+  Status s = out.Get();
+  EXPECT_TRUE(s.IsTimedOut());
+  // Late resolution is harmless.
+  p.Set(Status::OK());
+}
+
+TEST(AwaitStatusWithTimeoutTest, ErrorStatusPropagates) {
+  TimerService timers;
+  Promise<Status> p;
+  auto out = AwaitStatusWithTimeout(timers, p.GetFuture(), milliseconds(200));
+  p.Set(Status::TxnAborted(AbortReason::kUserAbort, "x"));
+  EXPECT_TRUE(out.Get().IsTxnAborted());
+}
+
+}  // namespace
+}  // namespace snapper

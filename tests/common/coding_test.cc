@@ -1,0 +1,102 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace snapper {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, 0xffffffff);
+  std::string_view in = buf;
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xffffffffu);
+  EXPECT_FALSE(GetFixed32(&in, &v));
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  std::string_view in = buf;
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  // Every power-of-two boundary where the varint width changes.
+  std::vector<uint64_t> cases = {0, 1, 127, 128, 16383, 16384};
+  for (int shift = 21; shift < 64; shift += 7) {
+    cases.push_back((1ull << shift) - 1);
+    cases.push_back(1ull << shift);
+  }
+  cases.push_back(~0ull);
+  std::string buf;
+  for (uint64_t c : cases) PutVarint64(&buf, c);
+  std::string_view in = buf;
+  for (uint64_t c : cases) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&in, &v));
+    EXPECT_EQ(v, c);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintRejectsTruncated) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.pop_back();
+  std::string_view in = buf;
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  for (double d : {0.0, -0.0, 1.5, -123456.789, 1e300, -1e-300}) {
+    std::string buf;
+    PutDouble(&buf, d);
+    std::string_view in = buf;
+    double out;
+    ASSERT_TRUE(GetDouble(&in, &out));
+    EXPECT_EQ(out, d);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "abc");
+  PutLengthPrefixed(&buf, std::string(300, 'z'));
+  std::string_view in = buf;
+  std::string_view s;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s, "abc");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s, std::string(300, 'z'));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRejectsOverclaim) {
+  std::string buf;
+  PutVarint64(&buf, 100);
+  buf += "short";
+  std::string_view in = buf;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &s));
+}
+
+}  // namespace
+}  // namespace snapper

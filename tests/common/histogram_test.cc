@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace snapper {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  // Quantile falls inside the bucket containing 1000 (±~7%).
+  EXPECT_NEAR(h.Quantile(0.5), 1000.0, 80.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformRamp) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_NEAR(h.Quantile(0.5), 5000, 400);
+  EXPECT_NEAR(h.Quantile(0.9), 9000, 700);
+  EXPECT_NEAR(h.Quantile(0.99), 9900, 800);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_EQ(h.min(), 1u);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    (v % 2 ? a : b).Record(v * 3);
+    combined.Record(v * 3);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), combined.Quantile(0.9));
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(0);
+  h.Record(~0ull);  // clamped into the last bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_GT(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Record((i * 7919) % 100000);
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ToStringContainsStats) {
+  Histogram h;
+  h.Record(100);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapper

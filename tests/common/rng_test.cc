@@ -1,0 +1,128 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace snapper {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    if (va != b.Next()) all_equal = false;
+    if (va != c.Next()) any_diff_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversAllBuckets) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[rng.Uniform(10)]++;
+  for (int c : counts) {
+    // Each bucket should be ~10000; tolerate ±10%.
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfGenerator zipf(0.0, 100);
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);  // expect 2000 ±20%
+    EXPECT_LT(c, 2400);
+  }
+}
+
+// Zipf frequencies must follow 1/(k+1)^s: rank-0 frequency over rank-(n-1)
+// frequency ≈ n^s.
+TEST(ZipfTest, SkewConcentratesMass) {
+  for (double s : {0.5, 0.9, 1.5}) {
+    ZipfGenerator zipf(s, 1000);
+    Rng rng(23);
+    int hits_rank0 = 0;
+    const int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (zipf.Sample(rng) == 0) hits_rank0++;
+    }
+    // Expected P(0) = (1/1^s) / H_{n,s}.
+    double h = 0;
+    for (int k = 1; k <= 1000; ++k) h += 1.0 / std::pow(k, s);
+    double expected = static_cast<double>(kSamples) / h;
+    EXPECT_GT(hits_rank0, expected * 0.9) << "s=" << s;
+    EXPECT_LT(hits_rank0, expected * 1.1) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, HigherSkewMeansMoreConcentration) {
+  Rng rng(29);
+  double prev_top10 = 0;
+  for (double s : {0.0, 0.5, 0.9, 1.25, 2.0}) {
+    ZipfGenerator zipf(s, 10000);
+    int top10 = 0;
+    for (int i = 0; i < 50000; ++i) {
+      if (zipf.Sample(rng) < 10) top10++;
+    }
+    EXPECT_GE(top10, prev_top10 * 0.95) << "s=" << s;  // monotone (w/ noise)
+    prev_top10 = top10;
+  }
+}
+
+TEST(HotspotTest, RespectsHotProbability) {
+  HotspotGenerator gen(10000, 0.01, 0.75);
+  EXPECT_EQ(gen.hot_size(), 100u);
+  Rng rng(31);
+  int hot = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Sample(rng) < gen.hot_size()) hot++;
+  }
+  EXPECT_GT(hot, kSamples * 0.73);
+  EXPECT_LT(hot, kSamples * 0.77);
+}
+
+TEST(HotspotTest, HotAndColdPartitionsDisjoint) {
+  HotspotGenerator gen(1000, 0.01, 0.5);
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.SampleHot(rng), gen.hot_size());
+    EXPECT_GE(gen.SampleCold(rng), gen.hot_size());
+  }
+}
+
+}  // namespace
+}  // namespace snapper

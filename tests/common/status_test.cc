@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace snapper {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::TimedOut("x").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ShuttingDown().code(), StatusCode::kShuttingDown);
+}
+
+TEST(StatusTest, TxnAbortedCarriesReason) {
+  Status s = Status::TxnAborted(AbortReason::kUserAbort, "insufficient");
+  EXPECT_TRUE(s.IsTxnAborted());
+  EXPECT_EQ(s.abort_reason(), AbortReason::kUserAbort);
+  EXPECT_NE(s.ToString().find("user-abort"), std::string::npos);
+  EXPECT_NE(s.ToString().find("insufficient"), std::string::npos);
+}
+
+TEST(StatusTest, PredicatesMatchCode) {
+  EXPECT_TRUE(Status::TimedOut("t").IsTimedOut());
+  EXPECT_TRUE(Status::Corruption("c").IsCorruption());
+  EXPECT_TRUE(Status::NotFound("n").IsNotFound());
+  EXPECT_FALSE(Status::OK().IsTxnAborted());
+}
+
+TEST(StatusTest, EqualityIgnoresMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, AbortReasonNamesAreStable) {
+  EXPECT_STREQ(AbortReasonName(AbortReason::kActActConflict),
+               "act-act-conflict");
+  EXPECT_STREQ(AbortReasonName(AbortReason::kPactActDeadlock),
+               "pact-act-deadlock");
+  EXPECT_STREQ(AbortReasonName(AbortReason::kIncompleteAfterSet),
+               "incomplete-afterset");
+  EXPECT_STREQ(AbortReasonName(AbortReason::kSerializabilityCheck),
+               "serializability-check");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+}  // namespace
+}  // namespace snapper

@@ -1,0 +1,241 @@
+// Tests of the bench harness: queue semantics, metrics accounting, workload
+// generators, and short end-to-end bench runs on both engines.
+#include "harness/client.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "harness/paper_config.h"
+#include "harness/workload.h"
+#include "workloads/smallbank.h"
+
+namespace snapper::harness {
+namespace {
+
+TEST(PushPullQueueTest, FifoOrder) {
+  PushPullQueue q(10);
+  for (int i = 0; i < 5; ++i) {
+    TxnRequest r;
+    r.root = ActorId{0, static_cast<uint64_t>(i)};
+    ASSERT_TRUE(q.Push(std::move(r)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    TxnRequest r;
+    ASSERT_TRUE(q.Pop(&r));
+    EXPECT_EQ(r.root.key, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(PushPullQueueTest, BlocksWhenFullUntilPop) {
+  PushPullQueue q(1);
+  ASSERT_TRUE(q.Push(TxnRequest{}));
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.Push(TxnRequest{});
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  TxnRequest r;
+  ASSERT_TRUE(q.Pop(&r));
+  t.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(PushPullQueueTest, CloseUnblocksBothSides) {
+  PushPullQueue q(1);
+  q.Push(TxnRequest{});
+  std::thread pusher([&] { EXPECT_FALSE(q.Push(TxnRequest{})); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  pusher.join();
+  TxnRequest r;
+  EXPECT_TRUE(q.Pop(&r));   // drains the remaining element
+  EXPECT_FALSE(q.Pop(&r));  // then reports closed
+}
+
+TEST(EpochMetricsTest, RecordsCommitsAndAborts) {
+  EpochMetrics m;
+  TxnResult ok{Status::OK(), Value(), TxnTimings{10, 20, 30}};
+  TxnResult bad{
+      Status::TxnAborted(AbortReason::kActActConflict, "x"), Value(), {}};
+  m.Record(/*is_pact=*/true, ok, 1000);
+  m.Record(/*is_pact=*/false, ok, 2000);
+  m.Record(/*is_pact=*/false, bad, 3000);
+  EXPECT_EQ(m.committed, 2u);
+  EXPECT_EQ(m.committed_pact, 1u);
+  EXPECT_EQ(m.committed_act, 1u);
+  EXPECT_EQ(m.aborted, 1u);
+  EXPECT_EQ(m.abort_reasons[static_cast<int>(AbortReason::kActActConflict)],
+            1u);
+  EXPECT_EQ(m.latency.count(), 2u);  // committed only
+  EXPECT_EQ(m.exec_us.count(), 2u);
+}
+
+TEST(EpochMetricsTest, MergeAggregates) {
+  EpochMetrics a, b;
+  TxnResult ok{Status::OK(), Value(), {}};
+  a.Record(true, ok, 100);
+  b.Record(true, ok, 200);
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 2u);
+  EXPECT_EQ(a.latency.count(), 2u);
+}
+
+TEST(BenchResultTest, Rates) {
+  BenchResult r;
+  r.seconds_measured = 2.0;
+  TxnResult ok{Status::OK(), Value(), {}};
+  TxnResult bad{Status::TxnAborted(AbortReason::kUserAbort, "x"), Value(), {}};
+  for (int i = 0; i < 10; ++i) r.totals.Record(true, ok, 100);
+  for (int i = 0; i < 10; ++i) r.totals.Record(true, bad, 100);
+  EXPECT_DOUBLE_EQ(r.Throughput(), 5.0);
+  EXPECT_DOUBLE_EQ(r.AbortRate(), 0.5);
+  EXPECT_DOUBLE_EQ(r.AbortRate(AbortReason::kUserAbort), 0.5);
+  EXPECT_NE(r.Summary().find("tps=5"), std::string::npos);
+}
+
+TEST(SmallBankGeneratorTest, ProducesDistinctActorsAndValidInfo) {
+  SmallBankWorkloadConfig config;
+  config.actor_type = 7;
+  config.num_actors = 100;
+  config.txn_size = 4;
+  auto gen = MakeSmallBankGenerator(config);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    TxnRequest r = gen(rng);
+    EXPECT_EQ(r.method, "MultiTransfer");
+    EXPECT_EQ(r.info.size(), 4u);  // 4 distinct actors
+    EXPECT_TRUE(r.info.count(r.root));
+    EXPECT_EQ(r.input["to"].size(), 3u);
+  }
+}
+
+TEST(SmallBankGeneratorTest, PactFractionRespected) {
+  SmallBankWorkloadConfig config;
+  config.num_actors = 100;
+  config.pact_fraction = 0.75;
+  auto gen = MakeSmallBankGenerator(config);
+  Rng rng(5);
+  int pacts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    pacts += gen(rng).mode == TxnMode::kPact;
+  }
+  EXPECT_NEAR(pacts / 2000.0, 0.75, 0.05);
+}
+
+TEST(SmallBankGeneratorTest, HotspotPutsThreeAccessesInHotSet) {
+  SmallBankWorkloadConfig config;
+  config.num_actors = 10000;
+  config.distribution = Distribution::kHotspot;
+  config.hot_fraction = 0.01;
+  config.hot_accesses = 3;
+  auto gen = MakeSmallBankGenerator(config);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    TxnRequest r = gen(rng);
+    int hot = 0;
+    for (const auto& [actor, _] : r.info) {
+      if (actor.key < 100) hot++;  // hot set = first 1%
+    }
+    EXPECT_EQ(hot, 3);
+  }
+}
+
+TEST(SmallBankGeneratorTest, DeadlockFreeOrdersActors) {
+  SmallBankWorkloadConfig config;
+  config.num_actors = 100;
+  config.deadlock_free = true;
+  auto gen = MakeSmallBankGenerator(config);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    TxnRequest r = gen(rng);
+    EXPECT_EQ(r.method, "MultiTransferOrdered");
+    for (const Value& to : r.input["to"].AsList()) {
+      EXPECT_LT(r.root.key, static_cast<uint64_t>(to.AsInt()));
+    }
+  }
+}
+
+TEST(SmallBankGeneratorTest, NoopVariantSplitsTargets) {
+  SmallBankWorkloadConfig config;
+  config.num_actors = 100;
+  config.txn_size = 4;
+  config.noop_accesses = 3;  // 0W+... shape: root RW + 3 no-ops? root writes
+  auto gen = MakeSmallBankGenerator(config);
+  Rng rng(11);
+  TxnRequest r = gen(rng);
+  EXPECT_EQ(r.method, "MultiTransferMixed");
+  EXPECT_EQ(r.input["to"].size(), 0u);
+  EXPECT_EQ(r.input["noop"].size(), 3u);
+  EXPECT_EQ(r.info.size(), 4u);
+}
+
+TEST(HarnessEndToEnd, ShortSnapperBenchCommitsTransactions) {
+  SnapperRuntime runtime{SnapperConfig{}};
+  uint32_t type = smallbank::RegisterSmallBank(runtime);
+  runtime.Start();
+
+  SmallBankWorkloadConfig workload;
+  workload.actor_type = type;
+  workload.num_actors = 500;
+  workload.pact_fraction = 0.9;
+
+  ClientConfig config;
+  config.num_clients = 2;
+  config.pipeline = 16;
+  config.epoch_seconds = 0.3;
+  config.num_epochs = 3;
+  config.warmup_epochs = 1;
+
+  BenchResult result = RunBench(config, MakeSmallBankGenerator(workload),
+                                SnapperSubmit(runtime));
+  EXPECT_GT(result.totals.committed, 5u);
+  EXPECT_GT(result.totals.committed_pact, result.totals.committed_act);
+  EXPECT_GT(result.Throughput(), 0.0);
+  EXPECT_GT(result.totals.latency.Quantile(0.5), 0.0);
+}
+
+TEST(HarnessEndToEnd, ShortOtxnBenchCommitsTransactions) {
+  otxn::OtxnRuntime runtime{otxn::OtxnConfig{}};
+  uint32_t type = runtime.RegisterActorType("SmallBank", [](uint64_t) {
+    return std::make_shared<smallbank::SmallBankLogic<otxn::OtxnActor>>();
+  });
+
+  SmallBankWorkloadConfig workload;
+  workload.actor_type = type;
+  workload.num_actors = 500;
+
+  ClientConfig config;
+  config.num_clients = 1;
+  config.pipeline = 8;
+  config.epoch_seconds = 0.3;
+  config.num_epochs = 2;
+  config.warmup_epochs = 1;
+
+  BenchResult result = RunBench(config, MakeSmallBankGenerator(workload),
+                                OtxnSubmit(runtime));
+  EXPECT_GT(result.totals.committed, 5u);
+}
+
+TEST(PaperConfigTest, ScaleTableFollowsBaseUnit) {
+  auto s4 = ScaleForCores(4);
+  EXPECT_EQ(s4.smallbank_actors, 10000u);
+  EXPECT_EQ(s4.coordinators, 4u);
+  auto s32 = ScaleForCores(32);
+  EXPECT_EQ(s32.smallbank_actors, 80000u);
+  EXPECT_EQ(s32.coordinators, 32u);
+  EXPECT_EQ(s32.loggers, 32u);
+}
+
+TEST(PaperConfigTest, SkewLevelsAreMonotone) {
+  double prev = -1;
+  for (const auto& level : kSkewLevels) {
+    EXPECT_GT(level.zipf_s, prev - 1e-9);
+    prev = level.zipf_s;
+  }
+}
+
+}  // namespace
+}  // namespace snapper::harness

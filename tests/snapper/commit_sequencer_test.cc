@@ -1,0 +1,154 @@
+#include "snapper/commit_sequencer.h"
+
+#include <gtest/gtest.h>
+
+namespace snapper {
+namespace {
+
+TEST(CommitSequencerTest, ChainHeadCommitsImmediately) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(1, kNoBid);
+  Status got = Status::Internal("unset");
+  seq.RequestCommit(1, [&](Status s) { got = s; });
+  EXPECT_TRUE(got.ok());
+  seq.MarkCommitted(1);
+  EXPECT_TRUE(seq.IsCommitted(1));
+  EXPECT_EQ(seq.LastCommittedBid(), 1u);
+}
+
+TEST(CommitSequencerTest, CommitWaitsForPredecessor) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(1, kNoBid);
+  seq.RegisterEmitted(5, 1);
+  bool b5_released = false;
+  seq.RequestCommit(5, [&](Status s) { b5_released = s.ok(); });
+  EXPECT_FALSE(b5_released);  // bid order: B1 first (§4.2.4)
+  Status s1 = Status::Internal("unset");
+  seq.RequestCommit(1, [&](Status s) { s1 = s; });
+  EXPECT_TRUE(s1.ok());
+  EXPECT_FALSE(b5_released);  // B1 is committing, not committed
+  seq.MarkCommitted(1);
+  EXPECT_TRUE(b5_released);
+  seq.MarkCommitted(5);
+  EXPECT_TRUE(seq.IsCommitted(5));
+}
+
+TEST(CommitSequencerTest, LongChainCommitsInOrder) {
+  CommitSequencer seq;
+  std::vector<uint64_t> bids = {3, 7, 12, 20};
+  uint64_t prev = kNoBid;
+  for (uint64_t b : bids) {
+    seq.RegisterEmitted(b, prev);
+    prev = b;
+  }
+  std::vector<uint64_t> commit_order;
+  // Request in reverse to prove ordering comes from the chain.
+  for (auto it = bids.rbegin(); it != bids.rend(); ++it) {
+    uint64_t bid = *it;
+    seq.RequestCommit(bid, [&, bid](Status s) {
+      ASSERT_TRUE(s.ok());
+      commit_order.push_back(bid);
+      seq.MarkCommitted(bid);
+    });
+  }
+  EXPECT_EQ(commit_order, bids);
+}
+
+TEST(CommitSequencerTest, IsCommittedSemantics) {
+  CommitSequencer seq;
+  EXPECT_FALSE(seq.IsCommitted(1));
+  seq.RegisterEmitted(1, kNoBid);
+  seq.RequestCommit(1, [](Status) {});
+  seq.MarkCommitted(1);
+  EXPECT_TRUE(seq.IsCommitted(1));
+  EXPECT_FALSE(seq.IsAborted(1));
+}
+
+TEST(CommitSequencerTest, WaitCommittedResolvesOnCommit) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(4, kNoBid);
+  auto f = seq.WaitCommitted(4);
+  EXPECT_FALSE(f.ready());
+  seq.RequestCommit(4, [](Status) {});
+  seq.MarkCommitted(4);
+  ASSERT_TRUE(f.ready());
+  EXPECT_TRUE(f.Peek().ok());
+  // Already committed: resolves immediately.
+  EXPECT_TRUE(seq.WaitCommitted(4).ready());
+}
+
+TEST(CommitSequencerTest, AbortMarksAllUndecided) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(1, kNoBid);
+  seq.RegisterEmitted(5, 1);
+  auto waiter = seq.WaitCommitted(5);
+  bool b5_cb_aborted = false;
+  seq.RequestCommit(5, [&](Status s) { b5_cb_aborted = s.IsTxnAborted(); });
+  auto outcome =
+      seq.BeginAbort(Status::TxnAborted(AbortReason::kCascading, "x"));
+  EXPECT_EQ(outcome.aborted_bids, (std::vector<uint64_t>{1, 5}));
+  EXPECT_TRUE(outcome.committing_drained.ready());  // nothing was committing
+  EXPECT_TRUE(b5_cb_aborted);
+  ASSERT_TRUE(waiter.ready());
+  EXPECT_TRUE(waiter.Peek().IsTxnAborted());
+  EXPECT_TRUE(seq.IsAborted(1));
+  EXPECT_TRUE(seq.IsAborted(5));
+  EXPECT_FALSE(seq.IsCommitted(1));
+}
+
+TEST(CommitSequencerTest, AbortSparesCommittingBatch) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(1, kNoBid);
+  seq.RegisterEmitted(5, 1);
+  // B1's commit callback fired: it is now committing.
+  seq.RequestCommit(1, [](Status s) { ASSERT_TRUE(s.ok()); });
+  auto outcome =
+      seq.BeginAbort(Status::TxnAborted(AbortReason::kCascading, "x"));
+  EXPECT_EQ(outcome.aborted_bids, (std::vector<uint64_t>{5}));
+  EXPECT_FALSE(outcome.committing_drained.ready());
+  EXPECT_FALSE(seq.IsAborted(1));
+  seq.MarkCommitted(1);  // commit completes during the abort round
+  EXPECT_TRUE(outcome.committing_drained.ready());
+  EXPECT_TRUE(seq.IsCommitted(1));
+}
+
+TEST(CommitSequencerTest, CommittedBelowWatermarkStaysCommittedAfterAbort) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(1, kNoBid);
+  seq.RequestCommit(1, [](Status) {});
+  seq.MarkCommitted(1);
+  seq.RegisterEmitted(5, 1);
+  seq.BeginAbort(Status::TxnAborted(AbortReason::kCascading, "x"));
+  EXPECT_TRUE(seq.IsCommitted(1));
+  EXPECT_TRUE(seq.IsAborted(5));
+  // bid 5 < a later committed bid must still read as aborted.
+  seq.RegisterEmitted(9, kNoBid);  // fresh chain after abort
+  seq.RequestCommit(9, [](Status) {});
+  seq.MarkCommitted(9);
+  EXPECT_TRUE(seq.IsCommitted(9));
+  EXPECT_FALSE(seq.IsCommitted(5));
+  EXPECT_TRUE(seq.IsAborted(5));
+}
+
+TEST(CommitSequencerTest, WaitCommittedOnAbortedBid) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(3, kNoBid);
+  seq.BeginAbort(Status::TxnAborted(AbortReason::kCascading, "x"));
+  auto f = seq.WaitCommitted(3);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.Peek().abort_reason(), AbortReason::kCascading);
+}
+
+TEST(CommitSequencerTest, Counters) {
+  CommitSequencer seq;
+  seq.RegisterEmitted(1, kNoBid);
+  seq.RegisterEmitted(2, 1);
+  seq.RequestCommit(1, [](Status) {});
+  seq.MarkCommitted(1);
+  seq.BeginAbort(Status::TxnAborted(AbortReason::kCascading, "x"));
+  EXPECT_EQ(seq.num_committed_batches(), 1u);
+  EXPECT_EQ(seq.num_aborted_batches(), 1u);
+}
+
+}  // namespace
+}  // namespace snapper

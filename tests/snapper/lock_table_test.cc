@@ -1,0 +1,235 @@
+#include "snapper/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace snapper {
+namespace {
+
+Status Get(Future<Status>& f) {
+  EXPECT_TRUE(f.ready());
+  return f.Peek();
+}
+
+TEST(ActorLockTest, FreeLockGrantsImmediately) {
+  ActorLock lock;
+  auto f = lock.Acquire(1, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(f).ok());
+  EXPECT_TRUE(lock.IsHeldBy(1));
+  EXPECT_EQ(lock.num_holders(), 1u);
+}
+
+TEST(ActorLockTest, ReadersShare) {
+  ActorLock lock;
+  auto f1 = lock.Acquire(1, AccessMode::kRead);
+  auto f2 = lock.Acquire(2, AccessMode::kRead);
+  auto f3 = lock.Acquire(3, AccessMode::kRead);
+  EXPECT_TRUE(Get(f1).ok());
+  EXPECT_TRUE(Get(f2).ok());
+  EXPECT_TRUE(Get(f3).ok());
+  EXPECT_EQ(lock.num_holders(), 3u);
+}
+
+TEST(ActorLockTest, WriterExcludesWriter_WaitDieOlderWaits) {
+  ActorLock lock;
+  auto f_young = lock.Acquire(10, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(f_young).ok());
+  // Older (smaller tid) requester waits.
+  auto f_old = lock.Acquire(5, AccessMode::kReadWrite);
+  EXPECT_FALSE(f_old.ready());
+  EXPECT_EQ(lock.num_waiters(), 1u);
+  lock.Release(10);
+  EXPECT_TRUE(Get(f_old).ok());
+  EXPECT_TRUE(lock.IsHeldBy(5));
+}
+
+TEST(ActorLockTest, WaitDieYoungerDies) {
+  ActorLock lock;
+  auto f_old = lock.Acquire(5, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(f_old).ok());
+  auto f_young = lock.Acquire(10, AccessMode::kReadWrite);
+  ASSERT_TRUE(f_young.ready());
+  Status s = f_young.Peek();
+  EXPECT_TRUE(s.IsTxnAborted());
+  EXPECT_EQ(s.abort_reason(), AbortReason::kActActConflict);
+  EXPECT_EQ(lock.num_die_aborts(), 1u);
+  EXPECT_EQ(lock.num_waiters(), 0u);
+}
+
+TEST(ActorLockTest, ReaderBlockedByWriterHolder) {
+  ActorLock lock;
+  auto fw = lock.Acquire(10, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(fw).ok());
+  auto fr = lock.Acquire(5, AccessMode::kRead);  // older -> waits
+  EXPECT_FALSE(fr.ready());
+  lock.Release(10);
+  EXPECT_TRUE(Get(fr).ok());
+}
+
+TEST(ActorLockTest, ReentrantAcquireIsNoop) {
+  ActorLock lock;
+  auto f1 = lock.Acquire(1, AccessMode::kReadWrite);
+  auto f2 = lock.Acquire(1, AccessMode::kReadWrite);
+  auto f3 = lock.Acquire(1, AccessMode::kRead);  // weaker: already covered
+  EXPECT_TRUE(Get(f1).ok());
+  EXPECT_TRUE(Get(f2).ok());
+  EXPECT_TRUE(Get(f3).ok());
+  EXPECT_EQ(lock.num_holders(), 1u);
+}
+
+TEST(ActorLockTest, UpgradeWhenSoleHolder) {
+  ActorLock lock;
+  auto fr = lock.Acquire(1, AccessMode::kRead);
+  EXPECT_TRUE(Get(fr).ok());
+  auto fw = lock.Acquire(1, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(fw).ok());
+  // Now exclusive: another reader must not share with the writer.
+  auto f2 = lock.Acquire(0, AccessMode::kRead);  // older -> waits
+  EXPECT_FALSE(f2.ready());
+}
+
+TEST(ActorLockTest, UpgradeWaitsForOtherReaders) {
+  ActorLock lock;
+  auto f1 = lock.Acquire(1, AccessMode::kRead);
+  auto f2 = lock.Acquire(2, AccessMode::kRead);
+  EXPECT_TRUE(Get(f1).ok());
+  EXPECT_TRUE(Get(f2).ok());
+  // tid 1 upgrades: conflicts with holder 2; 1 < 2 so it waits.
+  auto fu = lock.Acquire(1, AccessMode::kReadWrite);
+  EXPECT_FALSE(fu.ready());
+  lock.Release(2);
+  EXPECT_TRUE(Get(fu).ok());
+  EXPECT_TRUE(lock.IsHeldBy(1));
+}
+
+TEST(ActorLockTest, UpgradeDeadlockResolvedByWaitDie) {
+  ActorLock lock;
+  auto f1 = lock.Acquire(1, AccessMode::kRead);
+  auto f2 = lock.Acquire(2, AccessMode::kRead);
+  EXPECT_TRUE(Get(f1).ok());
+  EXPECT_TRUE(Get(f2).ok());
+  auto fu1 = lock.Acquire(1, AccessMode::kReadWrite);  // waits for 2
+  EXPECT_FALSE(fu1.ready());
+  // The younger upgrader dies instead of completing the deadlock.
+  auto fu2 = lock.Acquire(2, AccessMode::kReadWrite);
+  ASSERT_TRUE(fu2.ready());
+  EXPECT_EQ(fu2.Peek().abort_reason(), AbortReason::kActActConflict);
+}
+
+TEST(ActorLockTest, NoBargingPastConflictingWaiters) {
+  ActorLock lock;
+  auto fw = lock.Acquire(3, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(fw).ok());
+  auto fw2 = lock.Acquire(1, AccessMode::kReadWrite);  // older writer waits
+  EXPECT_FALSE(fw2.ready());
+  // A reader older than the queued writer must not barge (it waits).
+  auto fr = lock.Acquire(0, AccessMode::kRead);
+  EXPECT_FALSE(fr.ready());
+  lock.Release(3);
+  // FIFO: writer 1 first, then reader 0 after writer 1 releases.
+  EXPECT_TRUE(Get(fw2).ok());
+  EXPECT_FALSE(fr.ready());
+  lock.Release(1);
+  EXPECT_TRUE(Get(fr).ok());
+}
+
+TEST(ActorLockTest, YoungerDiesAgainstConflictingWaiterToo) {
+  ActorLock lock;
+  auto fw = lock.Acquire(5, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(fw).ok());
+  auto f_old = lock.Acquire(2, AccessMode::kReadWrite);  // waits
+  EXPECT_FALSE(f_old.ready());
+  // tid 3 conflicts with queued waiter 2 (younger than 3): 3 must die even
+  // though it is older than holder 5? No: 3 is younger than waiter 2's 2...
+  // 3 > 2, so 3 would wait behind an older waiter — allowed. But tid 7 is
+  // younger than both and must die.
+  auto f7 = lock.Acquire(7, AccessMode::kReadWrite);
+  ASSERT_TRUE(f7.ready());
+  EXPECT_EQ(f7.Peek().abort_reason(), AbortReason::kActActConflict);
+}
+
+TEST(ActorLockTest, ReleaseGrantsReadersTogether) {
+  ActorLock lock;
+  auto fw = lock.Acquire(10, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(fw).ok());
+  auto r1 = lock.Acquire(1, AccessMode::kRead);
+  auto r2 = lock.Acquire(2, AccessMode::kRead);
+  EXPECT_FALSE(r1.ready());
+  EXPECT_FALSE(r2.ready());
+  lock.Release(10);
+  EXPECT_TRUE(Get(r1).ok());
+  EXPECT_TRUE(Get(r2).ok());
+  EXPECT_EQ(lock.num_holders(), 2u);
+}
+
+TEST(ActorLockTest, ReleasePurgesOwnQueuedWaiters) {
+  ActorLock lock;
+  auto f1 = lock.Acquire(1, AccessMode::kRead);
+  auto f2 = lock.Acquire(2, AccessMode::kRead);
+  EXPECT_TRUE(Get(f1).ok());
+  EXPECT_TRUE(Get(f2).ok());
+  auto fu = lock.Acquire(1, AccessMode::kReadWrite);  // queued upgrade
+  EXPECT_FALSE(fu.ready());
+  // tid 1 aborts (e.g. timeout elsewhere): Release must purge the stale
+  // upgrade request, or a later grant would leak the lock.
+  lock.Release(1);
+  EXPECT_TRUE(fu.ready());
+  EXPECT_FALSE(fu.Peek().ok());
+  lock.Release(2);
+  EXPECT_TRUE(lock.IsFree());
+}
+
+TEST(ActorLockTest, FailAllWaiters) {
+  ActorLock lock;
+  auto fw = lock.Acquire(9, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(fw).ok());
+  auto w1 = lock.Acquire(1, AccessMode::kReadWrite);
+  auto w2 = lock.Acquire(0, AccessMode::kRead);  // older than waiter 1: waits
+  EXPECT_FALSE(w1.ready());
+  EXPECT_FALSE(w2.ready());
+  lock.FailAllWaiters(Status::TxnAborted(AbortReason::kCascading, "abort"));
+  EXPECT_EQ(w1.Peek().abort_reason(), AbortReason::kCascading);
+  EXPECT_EQ(w2.Peek().abort_reason(), AbortReason::kCascading);
+  EXPECT_EQ(lock.num_waiters(), 0u);
+  EXPECT_TRUE(lock.IsHeldBy(9));  // holders untouched
+}
+
+TEST(ActorLockTest, ReleaseUnknownTidIsNoop) {
+  ActorLock lock;
+  lock.Release(42);
+  EXPECT_TRUE(lock.IsFree());
+}
+
+// Wait-die invariant sweep: whatever the arrival order of conflicting
+// requests, nothing deadlocks — every request is eventually granted or dies
+// once holders release.
+class WaitDiePermutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaitDiePermutationTest, AlwaysResolves) {
+  std::vector<uint64_t> tids = {1, 2, 3, 4};
+  // Generate the GetParam()-th permutation.
+  for (int i = 0; i < GetParam(); ++i) {
+    std::next_permutation(tids.begin(), tids.end());
+  }
+  ActorLock lock;
+  std::vector<std::pair<uint64_t, Future<Status>>> reqs;
+  for (uint64_t tid : tids) {
+    reqs.emplace_back(tid, lock.Acquire(tid, AccessMode::kReadWrite));
+  }
+  // Drain: release every granted holder until all requests resolved.
+  for (int round = 0; round < 10; ++round) {
+    for (auto& [tid, f] : reqs) {
+      if (f.ready() && f.Peek().ok() && lock.IsHeldBy(tid)) {
+        lock.Release(tid);
+      }
+    }
+  }
+  for (auto& [tid, f] : reqs) {
+    EXPECT_TRUE(f.ready()) << "tid " << tid << " never resolved";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Permutations, WaitDiePermutationTest,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace snapper

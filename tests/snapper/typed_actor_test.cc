@@ -1,0 +1,148 @@
+#include "snapper/typed_actor.h"
+
+#include <gtest/gtest.h>
+
+#include "snapper/snapper_runtime.h"
+
+namespace snapper {
+namespace {
+
+struct Inventory {
+  int64_t units = 5;
+  double price = 2.5;
+
+  Value ToValue() const {
+    return Value(ValueMap{{"units", Value(units)}, {"price", Value(price)}});
+  }
+  static Inventory FromValue(const Value& v) {
+    return Inventory{v["units"].AsInt(), v["price"].AsDouble()};
+  }
+};
+
+static_assert(ValueConvertible<Inventory>);
+
+class InventoryActor : public TypedTransactionalActor<Inventory> {
+ public:
+  InventoryActor() {
+    RegisterMethod("Sell", [this](TxnContext& ctx, Value in) {
+      return Sell(ctx, std::move(in));
+    });
+    RegisterMethod("Peek", [this](TxnContext& ctx, Value in) {
+      return Peek(ctx, std::move(in));
+    });
+    RegisterMethod("SellReadOnlyBug", [this](TxnContext& ctx, Value in) {
+      return SellReadOnlyBug(ctx, std::move(in));
+    });
+  }
+
+ protected:
+  Inventory InitialTypedState() const override {
+    return Inventory{10, 4.0};
+  }
+
+ private:
+  Task<Value> Sell(TxnContext& ctx, Value input) {
+    auto state = co_await GetTypedState(ctx, AccessMode::kReadWrite);
+    const int64_t n = input["n"].AsInt();
+    if (state->units < n) {
+      throw TxnAbort(
+          Status::TxnAborted(AbortReason::kUserAbort, "out of stock"));
+    }
+    state->units -= n;
+    co_return Value(state->price * static_cast<double>(n));
+    // write-back happens when `state` leaves scope
+  }
+
+  Task<Value> Peek(TxnContext& ctx, Value input) {
+    auto state = co_await GetTypedState(ctx, AccessMode::kRead);
+    co_return Value(state->units);
+  }
+
+  // A read handle mutating its local copy must NOT write back.
+  Task<Value> SellReadOnlyBug(TxnContext& ctx, Value input) {
+    auto state = co_await GetTypedState(ctx, AccessMode::kRead);
+    state->units = -999;
+    co_return Value(state->units);
+  }
+};
+
+class TypedActorTest : public ::testing::Test {
+ protected:
+  TypedActorTest() : runtime_(SnapperConfig{}) {
+    type_ = runtime_.RegisterActorType("Inventory", [](uint64_t) {
+      return std::make_shared<InventoryActor>();
+    });
+    runtime_.Start();
+  }
+
+  ActorId Inv(uint64_t k) const { return ActorId{type_, k}; }
+
+  SnapperRuntime runtime_;
+  uint32_t type_ = 0;
+};
+
+TEST_F(TypedActorTest, InitialTypedStateApplies) {
+  TxnResult r = runtime_.RunAct(Inv(1), "Peek", Value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.AsInt(), 10);
+}
+
+TEST_F(TypedActorTest, WriteBackPersistsAcrossTransactions) {
+  TxnResult sell = runtime_.RunPact(Inv(1), "Sell",
+                                    Value(ValueMap{{"n", Value(int64_t{3})}}),
+                                    {{Inv(1), 1}});
+  ASSERT_TRUE(sell.ok()) << sell.status.ToString();
+  EXPECT_DOUBLE_EQ(sell.value.AsDouble(), 12.0);
+  EXPECT_EQ(runtime_.RunAct(Inv(1), "Peek", Value()).value.AsInt(), 7);
+}
+
+TEST_F(TypedActorTest, UserAbortRollsBackTypedState) {
+  TxnResult r = runtime_.RunAct(Inv(1), "Sell",
+                                Value(ValueMap{{"n", Value(int64_t{99})}}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(runtime_.RunAct(Inv(1), "Peek", Value()).value.AsInt(), 10);
+}
+
+TEST_F(TypedActorTest, ReadHandleNeverWritesBack) {
+  TxnResult r = runtime_.RunAct(Inv(2), "SellReadOnlyBug", Value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.AsInt(), -999);  // local copy mutated...
+  EXPECT_EQ(runtime_.RunAct(Inv(2), "Peek", Value()).value.AsInt(),
+            10);  // ...but the actor state is untouched
+}
+
+TEST_F(TypedActorTest, SequentialSellsAreExact) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(runtime_
+                    .RunAct(Inv(3), "Sell",
+                            Value(ValueMap{{"n", Value(int64_t{2})}}))
+                    .ok());
+  }
+  EXPECT_EQ(runtime_.RunAct(Inv(3), "Peek", Value()).value.AsInt(), 0);
+}
+
+TEST(StateHandleTest, FlushWritesEarly) {
+  Value slot = Inventory{7, 1.0}.ToValue();
+  {
+    StateHandle<Inventory> handle(&slot, AccessMode::kReadWrite);
+    handle->units = 3;
+    handle.Flush();
+    EXPECT_EQ(slot["units"].AsInt(), 3);
+    handle->units = 1;
+  }
+  EXPECT_EQ(slot["units"].AsInt(), 1);  // destructor write-back
+}
+
+TEST(StateHandleTest, MovedFromHandleDoesNotWriteBack) {
+  Value slot = Inventory{7, 1.0}.ToValue();
+  {
+    StateHandle<Inventory> a(&slot, AccessMode::kReadWrite);
+    a->units = 3;
+    StateHandle<Inventory> b(std::move(a));
+    b->units = 4;
+  }
+  EXPECT_EQ(slot["units"].AsInt(), 4);  // exactly one write-back (b's)
+}
+
+}  // namespace
+}  // namespace snapper

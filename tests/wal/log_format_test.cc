@@ -1,0 +1,139 @@
+#include "wal/log_format.h"
+
+#include <gtest/gtest.h>
+
+namespace snapper {
+namespace {
+
+LogRecord MakeBatchInfo() {
+  LogRecord r;
+  r.type = LogRecordType::kBatchInfo;
+  r.id = 42;
+  r.participants = {ActorId{1, 10}, ActorId{1, 20}, ActorId{2, 5}};
+  return r;
+}
+
+LogRecord MakeBatchComplete() {
+  LogRecord r;
+  r.type = LogRecordType::kBatchComplete;
+  r.id = 42;
+  r.actor = ActorId{1, 10};
+  r.state = "serialized-state-bytes";
+  return r;
+}
+
+class LogRecordRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogRecordRoundTrip, EncodeDecodeIdentity) {
+  LogRecord r;
+  r.type = static_cast<LogRecordType>(GetParam());
+  r.id = 0xdeadbeef12345ull;
+  r.actor = ActorId{3, 999};
+  if (r.type == LogRecordType::kBatchInfo ||
+      r.type == LogRecordType::kActCoordPrepare) {
+    r.participants = {ActorId{1, 1}, ActorId{2, 2}};
+  }
+  if (r.type == LogRecordType::kBatchComplete ||
+      r.type == LogRecordType::kActPrepare) {
+    r.state = std::string(100, 's');
+  }
+  std::string payload;
+  r.EncodeTo(&payload);
+  LogRecord decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(payload));
+  EXPECT_EQ(decoded.type, r.type);
+  EXPECT_EQ(decoded.id, r.id);
+  EXPECT_EQ(decoded.actor, r.actor);
+  EXPECT_EQ(decoded.participants, r.participants);
+  EXPECT_EQ(decoded.state, r.state);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, LogRecordRoundTrip,
+                         ::testing::Range(1, 10));
+
+TEST(LogRecordTest, DecodeRejectsTrailingGarbage) {
+  std::string payload;
+  MakeBatchInfo().EncodeTo(&payload);
+  payload += "x";
+  LogRecord decoded;
+  EXPECT_FALSE(decoded.DecodeFrom(payload));
+}
+
+TEST(LogRecordTest, DecodeRejectsBadType) {
+  std::string payload;
+  MakeBatchInfo().EncodeTo(&payload);
+  payload[0] = 99;
+  LogRecord decoded;
+  EXPECT_FALSE(decoded.DecodeFrom(payload));
+}
+
+TEST(LogCursorTest, ReadsSequence) {
+  std::string log;
+  FrameRecord(MakeBatchInfo(), &log);
+  FrameRecord(MakeBatchComplete(), &log);
+  LogRecord r;
+  r.type = LogRecordType::kBatchCommit;
+  r.id = 42;
+  FrameRecord(r, &log);
+
+  LogCursor cursor(log);
+  LogRecord out;
+  ASSERT_TRUE(cursor.Next(&out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kBatchInfo);
+  EXPECT_EQ(out.participants.size(), 3u);
+  ASSERT_TRUE(cursor.Next(&out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kBatchComplete);
+  EXPECT_EQ(out.state, "serialized-state-bytes");
+  ASSERT_TRUE(cursor.Next(&out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kBatchCommit);
+  EXPECT_TRUE(cursor.Next(&out).IsNotFound());
+}
+
+TEST(LogCursorTest, EmptyLogIsCleanEnd) {
+  LogCursor cursor("");
+  LogRecord out;
+  EXPECT_TRUE(cursor.Next(&out).IsNotFound());
+}
+
+TEST(LogCursorTest, TornTailIsCorruption) {
+  std::string log;
+  FrameRecord(MakeBatchInfo(), &log);
+  std::string full;
+  FrameRecord(MakeBatchComplete(), &full);
+  // Append only part of the second frame (torn write).
+  log.append(full.substr(0, full.size() / 2));
+
+  LogCursor cursor(log);
+  LogRecord out;
+  ASSERT_TRUE(cursor.Next(&out).ok());
+  EXPECT_TRUE(cursor.Next(&out).IsCorruption());
+}
+
+TEST(LogCursorTest, BitFlipIsCorruption) {
+  std::string log;
+  FrameRecord(MakeBatchComplete(), &log);
+  log[log.size() / 2] ^= 0x40;
+  LogCursor cursor(log);
+  LogRecord out;
+  EXPECT_TRUE(cursor.Next(&out).IsCorruption());
+}
+
+TEST(LogCursorTest, EveryTruncationDetected) {
+  std::string log;
+  FrameRecord(MakeBatchComplete(), &log);
+  for (size_t keep = 1; keep < log.size(); ++keep) {
+    LogCursor cursor(std::string_view(log.data(), keep));
+    LogRecord out;
+    Status s = cursor.Next(&out);
+    EXPECT_TRUE(s.IsCorruption()) << "keep=" << keep << " got " << s.ToString();
+  }
+}
+
+TEST(LogRecordTest, ToStringIsInformative) {
+  EXPECT_NE(MakeBatchInfo().ToString().find("BatchInfo"), std::string::npos);
+  EXPECT_NE(MakeBatchComplete().ToString().find("state_bytes"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapper
