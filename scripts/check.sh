@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer (a separate build tree,
+# so the regular build/ stays untouched). Override the sanitizer with e.g.
+#   SNAPPER_SANITIZE=thread scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${SNAPPER_SANITIZE:-address}"
+BUILD_DIR="build-${SANITIZER}"
+
+# Crash-simulation tests abandon in-flight coroutine frames by design; see
+# scripts/lsan.supp for the (tightly scoped) suppression list.
+export LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp:${LSAN_OPTIONS:-}"
+
+cmake -B "${BUILD_DIR}" -S . -DSNAPPER_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

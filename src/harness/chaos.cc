@@ -1,0 +1,220 @@
+#include "harness/chaos.h"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "snapper/snapper_runtime.h"
+#include "wal/fault_env.h"
+#include "workloads/smallbank.h"
+
+namespace snapper::harness {
+namespace {
+
+constexpr double kPerAccount =
+    smallbank::kInitialChecking + smallbank::kInitialSavings;
+constexpr double kEps = 1e-6;
+
+/// An acked abort whose reason implies the transaction never entered the
+/// durable commit path — invisible after recovery, no matter when the crash
+/// hit. Everything else (kCascading, kSystemFailure, plain IOError from the
+/// degraded-WAL fast path or a failed log write) races the crash: the
+/// decision that produced the ack may or may not match what recovery derives
+/// from the surviving log prefix, so either outcome is legal.
+bool IsDeterministicAbort(const Status& status) {
+  if (!status.IsTxnAborted()) return false;
+  switch (status.abort_reason()) {
+    case AbortReason::kUserAbort:
+    case AbortReason::kActActConflict:
+    case AbortReason::kPactActDeadlock:
+    case AbortReason::kIncompleteAfterSet:
+    case AbortReason::kSerializabilityCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SnapperConfig ChaosConfig(uint64_t seed) {
+  SnapperConfig config;
+  config.num_workers = 2;
+  config.num_coordinators = 2;
+  config.num_loggers = 2;
+  config.seed = seed;
+  // Short epochs: the round submits a couple dozen transactions and we want
+  // them spread over several batches so the fault can land between batch
+  // protocol steps, not only inside one giant batch.
+  config.min_batch_interval = std::chrono::microseconds(500);
+  return config;
+}
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+}  // namespace
+
+ChaosReport RunSmallBankChaos(const ChaosOptions& options) {
+  ChaosReport report;
+  Rng rng(options.seed);
+
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  const SnapperConfig config = ChaosConfig(options.seed);
+  const int num_accounts = options.num_roots + options.num_txns;
+  report.expected_total = kPerAccount * num_accounts;
+
+  // --- Phase 1: run a faulted round. The runtime is leaked (released, not
+  // destroyed) if the watchdog expires: a destructor that joins workers
+  // blocked on a hung future would turn the reported violation into a test
+  // binary timeout.
+  auto rt = std::make_unique<SnapperRuntime>(config, &env);
+  const uint32_t type = smallbank::RegisterSmallBank(*rt);
+  rt->Start();
+
+  if (options.inject_fault) {
+    report.fault_sync = options.fault_sync != 0
+                            ? options.fault_sync
+                            : 1 + rng.Uniform(options.max_fault_sync);
+    report.sticky = rng.NextDouble() < options.sticky_probability;
+    env.FailNth(FaultInjectionEnv::Op::kSync, report.fault_sync,
+                report.sticky);
+  }
+
+  std::vector<Future<TxnResult>> futures;
+  std::vector<bool> is_act;
+  futures.reserve(options.num_txns);
+  for (int i = 0; i < options.num_txns; ++i) {
+    const uint64_t from = rng.Uniform(options.num_roots);
+    const uint64_t to = options.num_roots + i;
+    const bool act = rng.NextDouble() < options.act_fraction;
+    is_act.push_back(act);
+    Value input =
+        smallbank::MultiTransferInput(options.amount, {to});
+    if (act) {
+      futures.push_back(rt->SubmitAct(ActorId{type, from}, "MultiTransfer",
+                                      std::move(input)));
+    } else {
+      futures.push_back(rt->SubmitPact(
+          ActorId{type, from}, "MultiTransfer", std::move(input),
+          smallbank::SmallBankActor::MultiTransferAccessInfo(type, from,
+                                                             {to})));
+    }
+  }
+
+  // Watchdog: the shared_ptr gate outlives this frame, so a late OnReady
+  // from a leaked runtime cannot touch dead stack memory.
+  auto gate = std::make_shared<Gate>();
+  WhenAll(futures).OnReady([gate]() {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->done = true;
+    gate->cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    const bool resolved = gate->cv.wait_for(
+        lock, std::chrono::duration<double>(options.watchdog_seconds),
+        [&gate]() { return gate->done; });
+    if (!resolved) {
+      for (const auto& f : futures) {
+        if (!f.ready()) report.unresolved++;
+      }
+      std::ostringstream os;
+      os << "hang: " << report.unresolved << "/" << options.num_txns
+         << " futures unresolved after " << options.watchdog_seconds << "s";
+      report.violation = os.str();
+      rt.release();  // deliberate leak, see above
+      return report;
+    }
+  }
+
+  std::vector<Status> outcomes;
+  outcomes.reserve(options.num_txns);
+  for (const auto& f : futures) {
+    outcomes.push_back(f.Peek().status);
+    if (outcomes.back().ok()) {
+      report.committed++;
+    } else if (IsDeterministicAbort(outcomes.back())) {
+      report.aborted++;
+    } else {
+      report.in_doubt++;
+    }
+  }
+
+  // --- Phase 2: crash, replace the device, recover.
+  rt.reset();  // silo dies: loggers close, in-memory state vanishes
+  report.fault_fired = env.faults_injected() > 0;
+  Status crash_status = env.Crash(options.tear_bytes);
+  env.ClearFaults();
+  if (!crash_status.ok()) {
+    report.violation = "Crash(): " + crash_status.ToString();
+    return report;
+  }
+
+  SnapperRuntime recovered(config, &env);
+  const uint32_t rtype = smallbank::RegisterSmallBank(recovered);
+  auto recovery = recovered.Recover();
+  if (!recovery.ok()) {
+    report.violation = "Recover(): " + recovery.status().ToString();
+    return report;
+  }
+  recovered.Start();
+
+  // --- Phase 3: invariants over recovered balances.
+  std::ostringstream violations;
+  violations.precision(15);  // balances are ~2e7-scale; show unit deltas
+  double total = 0;
+  std::vector<double> balance(num_accounts, 0);
+  for (int a = 0; a < num_accounts; ++a) {
+    TxnResult r =
+        recovered.RunNt(ActorId{rtype, static_cast<uint64_t>(a)}, "Balance",
+                        Value(ValueMap{}));
+    if (!r.ok()) {
+      violations << "Balance(" << a << ") failed: " << r.status.ToString()
+                 << "; ";
+      continue;
+    }
+    balance[a] = r.value.AsDouble();
+    total += balance[a];
+  }
+  report.total_balance = total;
+
+  if (std::fabs(total - report.expected_total) > kEps) {
+    violations << "conservation: total " << total << " != expected "
+               << report.expected_total << "; ";
+  }
+
+  // Each transaction i deposits into the fresh account num_roots + i, so
+  // that account's balance decodes whether i's effects survived.
+  for (int i = 0; i < options.num_txns; ++i) {
+    const double b = balance[options.num_roots + i];
+    const bool durable = std::fabs(b - (kPerAccount + options.amount)) <= kEps;
+    const bool invisible = std::fabs(b - kPerAccount) <= kEps;
+    const Status& s = outcomes[i];
+    const char* kind = is_act[i] ? "ACT" : "PACT";
+    if (!durable && !invisible) {
+      violations << kind << " txn " << i << ": unexplained balance " << b
+                 << "; ";
+    } else if (s.ok() && !durable) {
+      violations << kind << " txn " << i
+                 << ": acked committed but not durable; ";
+    } else if (IsDeterministicAbort(s) && !invisible) {
+      violations << kind << " txn " << i << ": acked abort ("
+                 << s.ToString() << ") but effects durable; ";
+    }
+    // In-doubt outcomes: either balance is legal; conservation and the
+    // unexplained-balance check above still constrain them.
+  }
+
+  report.violation = violations.str();
+  return report;
+}
+
+}  // namespace snapper::harness

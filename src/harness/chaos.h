@@ -1,0 +1,73 @@
+// Crash-recovery chaos harness: one seeded SmallBank round over a
+// FaultInjectionEnv, with a storage fault injected mid-run, a simulated
+// crash, recovery, and invariant checks (see DESIGN.md "Failure model").
+//
+// Per round:
+//   1. Open a SnapperRuntime over FaultInjectionEnv(MemEnv) and arm a fault
+//      at a (seed-derived or caller-chosen) Sync, optionally sticky.
+//   2. Submit a seeded mix of PACT/ACT MultiTransfers. Every transaction i
+//      moves `amount` from a random root account into the *unique* fresh
+//      account `num_roots + i`, so its durability is decodable from that
+//      account's post-recovery balance alone.
+//   3. Wait for every submission future under a watchdog: any unresolved
+//      future is an invariant violation (the hardening guarantees failed
+//      IO resolves everything non-OK; it must never hang).
+//   4. Crash the env (drop unsynced tails, optionally tear the durable
+//      tail), clear faults ("device replaced"), reopen, Recover(), Start().
+//   5. Check invariants over recovered balances:
+//        - conservation: total money unchanged;
+//        - acked-committed transactions are durable;
+//        - deterministically-aborted transactions are invisible;
+//        - in-doubt aborts (kCascading / kSystemFailure / IOError raced the
+//          crash) may have either outcome, but a consistent one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snapper::harness {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  int num_roots = 6;    ///< source accounts 0..num_roots-1
+  int num_txns = 20;    ///< each txn i deposits into account num_roots + i
+  double act_fraction = 0.5;  ///< remaining fraction submits as PACT
+  double amount = 10.0;
+
+  bool inject_fault = true;
+  /// Sync (1-based, from round start) to fail; 0 = derive from seed in
+  /// [1, max_fault_sync].
+  uint64_t fault_sync = 0;
+  uint64_t max_fault_sync = 12;
+  /// Probability that the injected fault is sticky (device-gone). With a
+  /// fixed `fault_sync` the coin is still seed-derived.
+  double sticky_probability = 0.5;
+
+  /// Bytes torn off each file's durable tail at crash. Keep 0 for invariant
+  /// rounds: the workload spans several log files, and tearing *synced*
+  /// (acked-durable) bytes legitimately breaks ack-durability. Torn-tail
+  /// recovery is covered separately by recovery tests.
+  size_t tear_bytes = 0;
+
+  double watchdog_seconds = 10.0;
+};
+
+struct ChaosReport {
+  int committed = 0;          ///< acked OK
+  int aborted = 0;            ///< acked deterministic abort
+  int in_doubt = 0;           ///< acked abort that may race the crash
+  int unresolved = 0;         ///< futures still pending at watchdog expiry
+  uint64_t fault_sync = 0;    ///< the sync that was armed (0 = none)
+  bool sticky = false;
+  bool fault_fired = false;   ///< the env actually injected a fault
+  double total_balance = 0;   ///< post-recovery sum over all accounts
+  double expected_total = 0;
+  std::string violation;      ///< empty iff all invariants held
+
+  bool ok() const { return violation.empty(); }
+};
+
+/// Runs one chaos round. Deterministic for a fixed ChaosOptions.
+ChaosReport RunSmallBankChaos(const ChaosOptions& options);
+
+}  // namespace snapper::harness

@@ -1,8 +1,10 @@
 #include "harness/client.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -48,6 +50,22 @@ struct Completion {
   TxnResult result;
   Clock::time_point start;
   bool is_pact;
+  /// Retry support: the original request (kept only while another attempt
+  /// is still allowed) and which attempt this completion ends (0-based).
+  TxnRequest request;
+  int attempt = 0;
+  bool retryable = false;
+};
+
+/// An ACT attempt waiting out its backoff before resubmission.
+struct PendingRetry {
+  Clock::time_point ready;
+  TxnRequest request;
+  int attempt = 0;  ///< attempt number the resubmission will carry
+
+  bool operator>(const PendingRetry& other) const {
+    return ready > other.ready;
+  }
 };
 
 /// Unbounded MPSC channel from future continuations to one client thread.
@@ -67,6 +85,18 @@ class CompletionChannel {
     Completion c = std::move(queue_.front());
     queue_.pop_front();
     return c;
+  }
+
+  /// Like Pop, but gives up at `deadline` (so the client thread can wake up
+  /// to resubmit a backed-off retry). Returns false on timeout.
+  bool PopUntil(Clock::time_point deadline, Completion* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_until(lock, deadline, [this] { return !queue_.empty(); })) {
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
   }
 
  private:
@@ -101,34 +131,85 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
     clients.emplace_back([&, c] {
       CompletionChannel completions;
       size_t in_flight = 0;
+      // Backed-off ACT retries, ordered by resubmission time.
+      std::priority_queue<PendingRetry, std::vector<PendingRetry>,
+                          std::greater<PendingRetry>>
+          retries;
+      Rng jitter(config.seed ^ (c + 1));
+
+      auto submit_request = [&](TxnRequest request, int attempt) {
+        const bool is_pact = request.mode == TxnMode::kPact;
+        const bool retryable = request.mode == TxnMode::kAct &&
+                               attempt < config.max_act_retries;
+        const auto start = Clock::now();
+        TxnRequest copy;
+        if (retryable) copy = request;
+        Future<TxnResult> future = submit(std::move(request));
+        future.OnReady([&completions, future, start, is_pact, attempt,
+                        retryable, copy = std::move(copy)]() mutable {
+          completions.Push(Completion{future.Peek(), start, is_pact,
+                                      std::move(copy), attempt, retryable});
+        });
+        in_flight++;
+      };
 
       auto submit_one = [&]() -> bool {
         TxnRequest request;
         if (!queue.Pop(&request)) return false;
-        const bool is_pact = request.mode == TxnMode::kPact;
-        const auto start = Clock::now();
-        Future<TxnResult> future = submit(std::move(request));
-        future.OnReady([&completions, future, start, is_pact]() {
-          completions.Push(Completion{future.Peek(), start, is_pact});
-        });
-        in_flight++;
+        submit_request(std::move(request), /*attempt=*/0);
         return true;
+      };
+
+      auto backoff_for = [&](int attempt) {
+        auto backoff = config.act_retry_backoff * (1 << std::min(attempt, 20));
+        backoff = std::min<std::chrono::microseconds>(
+            backoff, config.act_retry_backoff_cap);
+        const auto us = static_cast<uint64_t>(backoff.count());
+        // Jitter down to half the nominal backoff: simultaneous wait-die
+        // victims must not stampede back in lockstep.
+        return std::chrono::microseconds(us - jitter.Uniform(us / 2 + 1));
       };
 
       for (size_t i = 0; i < config.pipeline; ++i) {
         if (!submit_one()) break;
       }
-      while (in_flight > 0) {
-        Completion done = completions.Pop();
+      while (in_flight > 0 ||
+             (!retries.empty() && !stop.load(std::memory_order_relaxed))) {
+        // Resubmit every retry whose backoff has elapsed.
+        while (!retries.empty() && retries.top().ready <= Clock::now()) {
+          PendingRetry r = std::move(const_cast<PendingRetry&>(retries.top()));
+          retries.pop();
+          submit_request(std::move(r.request), r.attempt);
+        }
+        Completion done;
+        if (retries.empty()) {
+          if (in_flight == 0) continue;
+          done = completions.Pop();
+        } else if (!completions.PopUntil(retries.top().ready, &done)) {
+          continue;  // woke up to resubmit
+        }
         in_flight--;
         const int e = epoch.load(std::memory_order_relaxed);
-        if (e >= 0 && e < config.num_epochs) {
+        const bool in_window = e >= 0 && e < config.num_epochs;
+        if (in_window) {
           const auto latency =
               std::chrono::duration_cast<std::chrono::microseconds>(
                   Clock::now() - done.start)
                   .count();
           metrics[c][static_cast<size_t>(e)].Record(
               done.is_pact, done.result, static_cast<uint64_t>(latency));
+        }
+        const Status& s = done.result.status;
+        if (done.retryable && s.IsTxnAborted() &&
+            s.abort_reason() == AbortReason::kActActConflict &&
+            !stop.load(std::memory_order_relaxed)) {
+          // Wait-die victim: try again after backoff instead of pulling a
+          // fresh request (keeps the pipeline depth roughly constant).
+          if (in_window) metrics[c][static_cast<size_t>(e)].act_retries++;
+          retries.push(PendingRetry{Clock::now() + backoff_for(done.attempt),
+                                    std::move(done.request),
+                                    done.attempt + 1});
+          continue;
         }
         if (!stop.load(std::memory_order_relaxed)) submit_one();
       }

@@ -6,6 +6,7 @@
 // transactions only (processing latency, not queueing latency).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,6 +45,17 @@ struct ClientConfig {
   int warmup_epochs = 2;  ///< paper: 2
   uint64_t seed = 1234;
   size_t queue_capacity = 8192;
+
+  /// Client-side ACT retry policy: an ACT acked with kActActConflict (the
+  /// wait-die victim) is resubmitted up to this many times. 0 (default)
+  /// keeps the paper's one-shot semantics; every attempt's abort is still
+  /// recorded (per-attempt accounting), and retries are counted in
+  /// EpochMetrics::act_retries.
+  int max_act_retries = 0;
+  /// Backoff before retry k (0-based): min(cap, base << k), jittered
+  /// uniformly down to half the value so conflicting victims desynchronize.
+  std::chrono::microseconds act_retry_backoff{500};
+  std::chrono::microseconds act_retry_backoff_cap{8000};
 
   double measured_seconds() const {
     return epoch_seconds * (num_epochs - warmup_epochs);

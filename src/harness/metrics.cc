@@ -28,6 +28,7 @@ void EpochMetrics::Merge(const EpochMetrics& other) {
   committed_pact += other.committed_pact;
   committed_act += other.committed_act;
   aborted += other.aborted;
+  act_retries += other.act_retries;
   for (size_t i = 0; i < abort_reasons.size(); ++i) {
     abort_reasons[i] += other.abort_reasons[i];
   }

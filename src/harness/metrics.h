@@ -21,6 +21,10 @@ struct EpochMetrics {
   uint64_t committed_pact = 0;
   uint64_t committed_act = 0;
   uint64_t aborted = 0;
+  /// ACT attempts resubmitted after a kActActConflict abort (client-side
+  /// retry policy, ClientConfig::max_act_retries). Accounting is
+  /// per-attempt: each retried attempt's abort is still counted above.
+  uint64_t act_retries = 0;
   /// Aborts by AbortReason (indexed by the enum's integer value).
   std::array<uint64_t, 16> abort_reasons{};
   Histogram latency;       ///< all committed

@@ -109,6 +109,22 @@ CommitSequencer::AbortOutcome CommitSequencer::BeginAbort(
     for (auto& [_, cb] : pending_) cbs.push_back(std::move(cb));
     pending_.clear();
     prev_of_.clear();
+    // Defensive sweep: fail any remaining waiters on undecided bids outside
+    // the protected committing set — e.g. a commit-wait registered against a
+    // bid whose registration a previous round already wiped. No future round
+    // would cover them, so without this they would hang forever.
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      const uint64_t bid = it->first;
+      const bool undecided = watermark_ == kNoBid || bid > watermark_ ||
+                             aborted_.count(bid) > 0;
+      if (undecided && committing_.count(bid) == 0) {
+        aborted_.insert(bid);
+        for (auto& p : it->second) resolved.push_back(std::move(p));
+        it = waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
     if (committing_.empty()) {
       drain.TrySet(Unit{});
     } else {

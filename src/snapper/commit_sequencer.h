@@ -57,9 +57,10 @@ class CommitSequencer {
   };
 
   /// Global abort: every emitted-but-undecided batch becomes aborted;
-  /// pending commit requests and their waiters resolve with `status`;
-  /// batches already committing are spared (see AbortOutcome). The chain
-  /// resets (the next RegisterEmitted uses kNoBid).
+  /// pending commit requests and their waiters resolve with `status` — this
+  /// includes waiters on unregistered (orphan) bids, which no later round
+  /// could ever decide; batches already committing are spared (see
+  /// AbortOutcome). The chain resets (the next RegisterEmitted uses kNoBid).
   AbortOutcome BeginAbort(const Status& status);
 
   bool IsCommitted(uint64_t bid) const;

@@ -172,6 +172,7 @@ uint64_t CoordinatorActor::FormBatch(Token& token) {
   }
   batch.sub_batches = std::move(subs);
 
+  batch.prev_bid = token.last_emitted_bid;
   sctx().sequencer.RegisterEmitted(batch.bid, token.last_emitted_bid);
   token.last_emitted_bid = batch.bid;
 
@@ -191,11 +192,26 @@ Task<void> CoordinatorActor::LogAndEmitBatch(uint64_t bid) {
     record.type = LogRecordType::kBatchInfo;
     record.id = bid;
     record.participants = it->second.participants;
+    record.prev_id = it->second.prev_bid;
     Status s =
         co_await ctx.log_manager->LoggerForCoordinator(index_).Append(record);
-    if (!s.ok()) co_return;  // storage failure: batch never emitted
     it = batches_.find(bid);  // re-validate after suspension
     if (it == batches_.end()) co_return;
+    if (!s.ok()) {
+      // Storage failure before the batch became durable: it was never
+      // emitted, but it is already registered in the sequencer chain and the
+      // token already carries its prev_bid entries, so successors would wait
+      // on it forever. Fail this batch's clients and reset the chain through
+      // a global abort round (epoch bump).
+      const Status aborted = Status::TxnAborted(
+          AbortReason::kSystemFailure, "BatchInfo log failed: " + s.ToString());
+      for (auto& p : it->second.ctx_promises) {
+        p.SetException(std::make_exception_ptr(TxnAbort(aborted)));
+      }
+      batches_.erase(it);
+      ctx.abort_controller->RequestAbort(bid, s);  // fire-and-forget
+      co_return;
+    }
   }
 
   // A global abort may have struck between formation and durability: the
@@ -255,9 +271,14 @@ Task<void> CoordinatorActor::CommitBatch(uint64_t bid) {
     LogRecord record;
     record.type = LogRecordType::kBatchCommit;
     record.id = bid;
-    Status s =
-        co_await ctx.log_manager->LoggerForCoordinator(index_).Append(record);
-    if (!s.ok()) co_return;
+    // The commit decision is already durable at this point: every
+    // participant's BatchComplete record is on disk (that is what made the
+    // batch commit-eligible) and the chain committed in order, which is
+    // exactly recovery's all-completes rule. The BatchCommit record only
+    // accelerates recovery, so a failed write must not abort the batch —
+    // aborting here would diverge from what recovery reconstructs. Commit
+    // regardless of the append's outcome.
+    co_await ctx.log_manager->LoggerForCoordinator(index_).Append(record);
     it = batches_.find(bid);
     if (it == batches_.end()) co_return;
   }

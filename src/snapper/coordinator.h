@@ -81,6 +81,9 @@ class CoordinatorActor : public ActorBase {
   struct BatchState {
     uint64_t bid = 0;
     uint64_t epoch = 0;
+    /// Predecessor in the token's emission chain (kNoBid = chain head);
+    /// logged in BatchInfo so recovery can honour chain-order commit.
+    uint64_t prev_bid = kNoBid;
     std::vector<ActorId> participants;
     std::set<ActorId> pending_acks;
     /// Sub-batches not yet emitted (awaiting the BatchInfo log write).

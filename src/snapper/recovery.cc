@@ -41,6 +41,7 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
   // Pass 1: commit decisions.
   std::set<uint64_t> batch_commit_logged;
   std::map<uint64_t, std::set<ActorId>> batch_participants;
+  std::map<uint64_t, uint64_t> batch_prev;
   std::map<uint64_t, std::set<ActorId>> batch_completes;
   std::set<uint64_t> act_committed;
   for (const auto& records : logs) {
@@ -53,6 +54,7 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
         case LogRecordType::kBatchInfo:
           batch_participants[r.id].insert(r.participants.begin(),
                                           r.participants.end());
+          batch_prev[r.id] = r.prev_id;
           break;
         case LogRecordType::kBatchComplete:
           batch_completes[r.id].insert(r.actor);
@@ -66,6 +68,13 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
     }
   }
 
+  // A BatchCommit record is an explicit durable decision. The all-completes
+  // rule additionally requires the batch's whole predecessor chain (the
+  // BatchInfo prev_id links) to have committed: the sequencer only ever
+  // commits in chain order, and a batch's speculative snapshots embed the
+  // effects of its predecessors — committing a successor whose predecessor
+  // aborted would resurrect those effects partially. bids grow along the
+  // chain, so one ascending sweep settles chains of any length.
   std::set<uint64_t> batch_committed = batch_commit_logged;
   for (const auto& [bid, participants] : batch_participants) {
     if (batch_committed.count(bid) > 0) continue;
@@ -78,7 +87,11 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
         break;
       }
     }
-    if (all) batch_committed.insert(bid);
+    if (!all) continue;
+    const uint64_t prev = batch_prev[bid];
+    if (prev == kNoLogId || batch_committed.count(prev) > 0) {
+      batch_committed.insert(bid);
+    }
   }
   result.committed_batches = batch_committed.size();
   result.committed_acts = act_committed.size();

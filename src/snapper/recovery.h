@@ -3,9 +3,13 @@
 //
 // Commit decisions:
 //   * a batch is committed iff a BatchCommit record exists, OR its BatchInfo
-//     record exists and every participant wrote BatchComplete — the paper's
+//     record exists, every participant wrote BatchComplete, AND its whole
+//     predecessor chain (BatchInfo prev_id) committed — the paper's
 //     principle that "the batch that has BatchComplete log records written
-//     in all participating actors can commit";
+//     in all participating actors can commit", restricted to chain order
+//     because a batch's speculative snapshots embed its predecessors'
+//     effects (committing past an aborted predecessor would partially
+//     resurrect the aborted batch);
 //   * an ACT is committed iff its 2PC coordinator logged CoordCommit
 //     (presumed abort otherwise).
 //

@@ -162,10 +162,25 @@ void SnapperRuntime::Start() {
       });
 }
 
+Future<TxnResult> SnapperRuntime::FailFastDegraded() {
+  Promise<TxnResult> promise;
+  auto future = promise.GetFuture();
+  TxnResult result;
+  result.status =
+      Status::IOError("WAL degraded: transactional submission rejected");
+  promise.Set(std::move(result));
+  return future;
+}
+
+bool SnapperRuntime::WalDegraded() const {
+  return log_manager_->enabled() && log_manager_->health().degraded();
+}
+
 Future<TxnResult> SnapperRuntime::SubmitPact(const ActorId& first,
                                              std::string method, Value input,
                                              ActorAccessInfo info) {
   assert(started_);
+  if (WalDegraded()) return FailFastDegraded();
   FuncCall call{std::move(method), std::move(input)};
   return runtime_->Call<TransactionalActor>(
       first, [call = std::move(call),
@@ -177,6 +192,7 @@ Future<TxnResult> SnapperRuntime::SubmitPact(const ActorId& first,
 Future<TxnResult> SnapperRuntime::SubmitAct(const ActorId& first,
                                             std::string method, Value input) {
   assert(started_);
+  if (WalDegraded()) return FailFastDegraded();
   FuncCall call{std::move(method), std::move(input)};
   return runtime_->Call<TransactionalActor>(
       first, [call = std::move(call)](TransactionalActor& a) mutable {

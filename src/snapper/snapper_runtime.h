@@ -50,17 +50,24 @@ class SnapperRuntime {
   void Start();
 
   /// Submits a PACT (deterministic execution; `info` pre-declares the actor
-  /// accesses, paper §3.1).
+  /// accesses, paper §3.1). Fails fast with IOError while the WAL device is
+  /// degraded (see LogManager::health()).
   Future<TxnResult> SubmitPact(const ActorId& first, std::string method,
                                Value input, ActorAccessInfo info);
 
-  /// Submits an ACT (S2PL + 2PC).
+  /// Submits an ACT (S2PL + 2PC). Fails fast with IOError while the WAL
+  /// device is degraded.
   Future<TxnResult> SubmitAct(const ActorId& first, std::string method,
                               Value input);
 
-  /// Non-transactional execution (the NT upper bound of Fig. 12).
+  /// Non-transactional execution (the NT upper bound of Fig. 12). Never
+  /// logs, so it keeps working while the WAL device is out.
   Future<TxnResult> SubmitNt(const ActorId& first, std::string method,
                              Value input);
+
+  /// Aggregate WAL device health (degraded after a failed flush, recovered
+  /// after the next successful one).
+  const WalHealth& wal_health() const { return log_manager_->health(); }
 
   /// Blocking conveniences for tests and examples.
   TxnResult RunPact(const ActorId& first, const std::string& method,
@@ -90,6 +97,9 @@ class SnapperRuntime {
   void Shutdown();
 
  private:
+  Future<TxnResult> FailFastDegraded();
+  bool WalDegraded() const;
+
   std::unique_ptr<Env> owned_env_;
   Env* env_;
   std::unique_ptr<ActorRuntime> runtime_;

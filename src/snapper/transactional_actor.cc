@@ -678,7 +678,15 @@ Task<void> TransactionalActor::LogAndAckSubBatch(uint64_t bid, bool wrote) {
       if (it != pact_snapshots_.end()) record.state = it->second.state.Encode();
     }
     Status ls = co_await ctx.log_manager->LoggerFor(id()).Append(record);
-    if (!ls.ok()) co_return;  // never ack an unlogged completion (§4.2.4)
+    if (!ls.ok()) {
+      // Never ack an unlogged completion (§4.2.4) — but never leave the
+      // batch dangling either: the coordinator is waiting for this ack, so
+      // without it the batch (and every successor chained behind it) would
+      // hang forever. Fail the batch through a global abort round; the
+      // round resolves the pending client futures with the abort status.
+      ctx.abort_controller->RequestAbort(bid, ls);  // fire-and-forget
+      co_return;
+    }
   }
   auto owner = batch_owner_.find(bid);
   if (owner == batch_owner_.end()) co_return;  // aborted meanwhile

@@ -77,6 +77,18 @@ Status PosixEnv::NewWritableFile(const std::string& name,
   if (fd < 0) {
     return Status::IOError(std::string("open: ") + std::strerror(errno));
   }
+  if (fsync_) {
+    // Persist the directory entry: without this, a crash after creation can
+    // lose the whole file even though its appends were fdatasync'd.
+    int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0 || ::fsync(dfd) != 0) {
+      const std::string msg = std::string("fsync dir: ") + std::strerror(errno);
+      if (dfd >= 0) ::close(dfd);
+      ::close(fd);
+      return Status::IOError(msg);
+    }
+    ::close(dfd);
+  }
   *file = std::make_unique<PosixWritableFile>(fd, fsync_);
   return Status::OK();
 }

@@ -1,0 +1,199 @@
+#include "wal/fault_env.h"
+
+namespace snapper {
+
+namespace {
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::shared_ptr<FaultInjectionEnv::FileRec> rec,
+                    FaultInjectionEnv* env)
+      : rec_(std::move(rec)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    Status s = env_->CheckFault(FaultInjectionEnv::Op::kAppend);
+    if (!s.ok()) return s;
+    std::lock_guard<std::mutex> lock(rec_->mu);
+    if (rec_->lost) return Status::IOError("handle invalidated by crash");
+    rec_->unsynced.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    Status s = env_->CheckFault(FaultInjectionEnv::Op::kSync);
+    std::lock_guard<std::mutex> lock(rec_->mu);
+    if (!s.ok()) {
+      // The device drops its cache on a failed sync: the pending tail is
+      // certainly not durable and must never resurface (see fault_env.h).
+      rec_->unsynced.clear();
+      return s;
+    }
+    if (rec_->lost) return Status::IOError("handle invalidated by crash");
+    if (rec_->unsynced.empty()) return Status::OK();
+    s = rec_->base->Append(rec_->unsynced);
+    if (s.ok()) s = rec_->base->Sync();
+    if (!s.ok()) {
+      rec_->unsynced.clear();  // same fail-stop contract for real errors
+      return s;
+    }
+    rec_->synced.append(rec_->unsynced);
+    rec_->unsynced.clear();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(rec_->mu);
+    if (rec_->lost || !rec_->base) return Status::OK();
+    return rec_->base->Close();
+  }
+
+ private:
+  std::shared_ptr<FaultInjectionEnv::FileRec> rec_;
+  FaultInjectionEnv* env_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::CheckFault(Op op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t i = static_cast<size_t>(op);
+  op_counts_[i]++;
+  if (device_failed_) {
+    faults_++;
+    return Status::IOError("injected: device failed");
+  }
+  if (fail_at_[i] != 0 && op_counts_[i] >= fail_at_[i]) {
+    fail_at_[i] = 0;
+    if (fail_sticky_[i]) device_failed_ = true;
+    faults_++;
+    return Status::IOError("injected fault");
+  }
+  if (fault_p_ > 0 && op != Op::kNewFile && rng_.Bernoulli(fault_p_)) {
+    faults_++;
+    return Status::IOError("injected probabilistic fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& name,
+                                          std::unique_ptr<WritableFile>* file) {
+  Status s = CheckFault(Op::kNewFile);
+  if (!s.ok()) return s;
+  auto rec = std::make_shared<FileRec>();
+  rec->name = name;
+  s = base_->NewWritableFile(name, &rec->base);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    // Recreating truncates: detach the previous incarnation's handle.
+    std::lock_guard<std::mutex> flock(it->second->mu);
+    it->second->lost = true;
+  }
+  files_[name] = rec;
+  *file = std::make_unique<FaultWritableFile>(std::move(rec), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::ReadFile(const std::string& name, std::string* out) {
+  return base_->ReadFile(name, out);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it != files_.end()) {
+      std::lock_guard<std::mutex> flock(it->second->mu);
+      it->second->lost = true;
+      files_.erase(it);
+    }
+  }
+  return base_->DeleteFile(name);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& name) {
+  return base_->FileExists(name);
+}
+
+std::vector<std::string> FaultInjectionEnv::ListFiles() {
+  return base_->ListFiles();
+}
+
+void FaultInjectionEnv::FailNth(Op op, uint64_t n, bool sticky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t i = static_cast<size_t>(op);
+  fail_at_[i] = op_counts_[i] + n;
+  fail_sticky_[i] = sticky;
+}
+
+void FaultInjectionEnv::FailProbabilistically(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_p_ = p;
+  rng_ = Rng(seed);
+}
+
+void FaultInjectionEnv::SetDeviceFailed(bool failed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  device_failed_ = failed;
+}
+
+bool FaultInjectionEnv::device_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return device_failed_;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_.fill(0);
+  fail_sticky_.fill(false);
+  fault_p_ = 0;
+  device_failed_ = false;
+}
+
+uint64_t FaultInjectionEnv::ops(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counts_[static_cast<size_t>(op)];
+}
+
+uint64_t FaultInjectionEnv::total_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t c : op_counts_) total += c;
+  return total;
+}
+
+uint64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+Status FaultInjectionEnv::Crash(size_t tear_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, rec] : files_) {
+    std::lock_guard<std::mutex> flock(rec->mu);
+    rec->unsynced.clear();
+    rec->base.reset();
+    rec->lost = true;
+    const size_t cut = std::min(tear_bytes, rec->synced.size());
+    if (cut == 0) continue;  // base already holds exactly the synced content
+    rec->synced.resize(rec->synced.size() - cut);
+    // Rewrite the base file with the torn content (no fault injection on
+    // the crash simulation itself).
+    std::unique_ptr<WritableFile> f;
+    Status s = base_->NewWritableFile(name, &f);
+    if (!s.ok()) return s;
+    if (!rec->synced.empty()) {
+      s = f->Append(rec->synced);
+      if (s.ok()) s = f->Sync();
+      if (!s.ok()) return s;
+    } else {
+      s = f->Sync();
+      if (!s.ok()) return s;
+    }
+    f->Close();
+  }
+  return Status::OK();
+}
+
+}  // namespace snapper

@@ -1,0 +1,110 @@
+// FaultInjectionEnv: a decorating Env wrapper (LevelDB FaultInjectionTestEnv
+// style) that works over any base Env (MemEnv or PosixEnv) and injects
+// storage faults for robustness tests.
+//
+// Fault scripting:
+//   * FailNth(op, n [, sticky]) — fail the n-th Append/Sync/NewWritableFile
+//     counted from the call; sticky turns the failure into "device gone".
+//   * FailProbabilistically(p, seed) — every Append/Sync fails with
+//     probability p (seeded, deterministic).
+//   * SetDeviceFailed(true) — sticky device-gone mode: every subsequent
+//     operation fails until cleared.
+//   * Per-op counters (ops(), total_ops()) let tests target exact crash
+//     points: run once to count, then re-run with FailNth at the chosen op.
+//
+// Failure semantics (the simulated device's contract, relied upon by the
+// commit protocols — see DESIGN.md "Failure model"):
+//   * A failed Append buffers nothing: the record is certainly not durable.
+//   * A failed Sync DISCARDS the pending unsynced tail — the device drops its
+//     write cache on error, so a record whose sync failed is certainly not
+//     durable and can never resurface in a later successful sync. This gives
+//     failed syncs fail-stop semantics, which is what lets a 2PC coordinator
+//     treat a failed commit-record write as a definite abort.
+//   * Crash(tear_bytes) drops all unsynced buffers, invalidates every open
+//     handle, and additionally tears `tear_bytes` off the durable tail of
+//     each file (torn-write simulation, like MemEnv::CrashAllTorn but over
+//     any base Env).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "wal/env.h"
+
+namespace snapper {
+
+class FaultInjectionEnv : public Env {
+ public:
+  enum class Op : int { kNewFile = 0, kAppend = 1, kSync = 2 };
+  static constexpr size_t kNumOps = 3;
+
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // Env interface. Reads and listings observe only durable (synced) content,
+  // mirroring what recovery would see after a crash.
+  Status NewWritableFile(const std::string& name,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status ReadFile(const std::string& name, std::string* out) override;
+  Status DeleteFile(const std::string& name) override;
+  bool FileExists(const std::string& name) override;
+  std::vector<std::string> ListFiles() override;
+
+  /// Fails the n-th operation of type `op` counted from now (n >= 1). With
+  /// `sticky`, the failure flips the env into device-gone mode.
+  void FailNth(Op op, uint64_t n, bool sticky = false);
+
+  /// Every Append/Sync fails independently with probability `p`.
+  void FailProbabilistically(double p, uint64_t seed);
+
+  /// Sticky "device gone": every operation fails until cleared.
+  void SetDeviceFailed(bool failed);
+  bool device_failed() const;
+
+  /// Clears scripted and probabilistic faults and the device-failed flag
+  /// (e.g. "the device comes back after reboot" before recovery).
+  void ClearFaults();
+
+  /// Executed-operation counters (attempts, including failed ones).
+  uint64_t ops(Op op) const;
+  uint64_t total_ops() const;
+  uint64_t faults_injected() const;
+
+  /// Crash simulation: drops every unsynced buffer, invalidates all open
+  /// handles, and tears `tear_bytes` off each file's durable tail (rewriting
+  /// the base file when torn). Injected faults do not apply to the rewrite.
+  Status Crash(size_t tear_bytes = 0);
+
+  /// Internal per-file state; public so the file handle (an implementation
+  /// detail in fault_env.cc) can share it, like MemEnv::FileState.
+  struct FileRec {
+    std::mutex mu;
+    std::string name;
+    std::string synced;    ///< mirror of the base file's durable content
+    std::string unsynced;  ///< buffered appends not yet forwarded to base
+    std::unique_ptr<WritableFile> base;
+    bool lost = false;  ///< handle invalidated by Crash()
+  };
+
+  /// Internal: counts the operation and decides whether to inject a fault.
+  /// Public for the file handle in fault_env.cc.
+  Status CheckFault(Op op);
+
+ private:
+  Env* base_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileRec>> files_;
+  std::array<uint64_t, kNumOps> op_counts_{};
+  std::array<uint64_t, kNumOps> fail_at_{};  ///< 0 = unarmed
+  std::array<bool, kNumOps> fail_sticky_{};
+  bool device_failed_ = false;
+  double fault_p_ = 0;
+  Rng rng_{0};
+  uint64_t faults_ = 0;
+};
+
+}  // namespace snapper

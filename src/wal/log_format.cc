@@ -29,6 +29,8 @@ void LogRecord::EncodeTo(std::string* dst) const {
   PutVarint64(dst, participants.size());
   for (const auto& p : participants) PutActorId(dst, p);
   PutLengthPrefixed(dst, state);
+  // prev_id + 1 so the common "no predecessor" case is one byte.
+  PutVarint64(dst, prev_id + 1);
 }
 
 bool LogRecord::DecodeFrom(std::string_view payload) {
@@ -51,6 +53,9 @@ bool LogRecord::DecodeFrom(std::string_view payload) {
   std::string_view s;
   if (!GetLengthPrefixed(&payload, &s)) return false;
   state.assign(s.data(), s.size());
+  uint64_t prev_plus_one;
+  if (!GetVarint64(&payload, &prev_plus_one)) return false;
+  prev_id = prev_plus_one - 1;
   return payload.empty();
 }
 
@@ -65,6 +70,7 @@ std::string LogRecord::ToString() const {
   if (!participants.empty()) {
     out += " parts=" + std::to_string(participants.size());
   }
+  if (prev_id != kNoLogId) out += " prev=" + std::to_string(prev_id);
   if (!state.empty()) out += " state_bytes=" + std::to_string(state.size());
   return out;
 }

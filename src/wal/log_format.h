@@ -33,6 +33,10 @@ enum class LogRecordType : uint8_t {
   kCheckpoint = 10,     ///< Recovered committed state re-persisted on reopen.
 };
 
+/// "No predecessor" sentinel for LogRecord::prev_id (same value as the
+/// runtime's kNoBid; redeclared here to keep the WAL layer self-contained).
+inline constexpr uint64_t kNoLogId = ~0ull;
+
 /// A decoded WAL record. Unused fields are empty/zero depending on type.
 struct LogRecord {
   LogRecordType type = LogRecordType::kBatchInfo;
@@ -40,6 +44,12 @@ struct LogRecord {
   ActorId actor;             ///< Writing actor (state-bearing records).
   std::vector<ActorId> participants;  ///< kBatchInfo / kActCoordPrepare.
   std::string state;         ///< Serialized actor state snapshot ("" = none).
+  /// kBatchInfo only: bid of the predecessor batch in the token's emission
+  /// chain (kNoLogId = chain head). Recovery may commit a batch on the
+  /// all-completes rule only if its whole predecessor chain committed —
+  /// otherwise a durable successor could resurrect the effects of an aborted
+  /// batch that its speculative snapshots embed.
+  uint64_t prev_id = kNoLogId;
 
   void EncodeTo(std::string* dst) const;
   /// Decodes a payload (without framing). Returns false on malformed input.

@@ -4,9 +4,12 @@
 
 namespace snapper {
 
-Logger::Logger(std::string file_name, Env* env,
-               std::shared_ptr<Strand> strand)
-    : file_name_(std::move(file_name)), env_(env), strand_(std::move(strand)) {}
+Logger::Logger(std::string file_name, Env* env, std::shared_ptr<Strand> strand,
+               WalHealth* health)
+    : file_name_(std::move(file_name)),
+      env_(env),
+      strand_(std::move(strand)),
+      health_(health) {}
 
 Future<Status> Logger::Append(LogRecord record) {
   Promise<Status> promise;
@@ -50,10 +53,15 @@ void Logger::DoFlush() {
     open_status_ = env_->NewWritableFile(file_name_, &file_);
   }
   if (!open_status_.ok()) {
+    const Status failed = open_status_;
     std::vector<Promise<Status>> waiters;
     waiters.swap(waiters_);
     pending_.clear();
-    for (auto& w : waiters) w.Set(open_status_);
+    if (health_ != nullptr) health_->ReportFlush(failed);
+    // Retry the open on the next flush: a transient creation failure must
+    // not wedge this logger (and a quarter of the actor space) forever.
+    open_status_ = Status::OK();
+    for (auto& w : waiters) w.Set(failed);
     return;
   }
   std::string batch;
@@ -65,6 +73,7 @@ void Logger::DoFlush() {
   if (s.ok()) s = file_->Sync();
   num_syncs_.fetch_add(1);
   bytes_written_.fetch_add(batch.size());
+  if (health_ != nullptr) health_->ReportFlush(s);
   for (auto& w : waiters) w.Set(s);
 }
 
@@ -75,7 +84,7 @@ LogManager::LogManager(Options options, Env* env, Executor* executor)
   for (size_t i = 0; i < options_.num_loggers; ++i) {
     loggers_.push_back(std::make_unique<Logger>(
         "wal-" + std::to_string(i) + ".log", env,
-        std::make_shared<Strand>(executor)));
+        std::make_shared<Strand>(executor), &health_));
   }
 }
 

@@ -23,10 +23,38 @@
 
 namespace snapper {
 
+/// Shared WAL device health across the logger group: flips to degraded on a
+/// flush failure and recovers on the next successful flush. SnapperRuntime
+/// consults it to fail new transactional submissions fast while the device
+/// is out (sticky device failures stay degraded), while non-transactional
+/// calls — which never log — keep working.
+class WalHealth {
+ public:
+  void ReportFlush(const Status& status) {
+    if (status.ok()) {
+      degraded_.store(false, std::memory_order_release);
+    } else {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      degraded_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> failures_{0};
+};
+
 class Logger {
  public:
-  /// `strand` must be dedicated to this logger.
-  Logger(std::string file_name, Env* env, std::shared_ptr<Strand> strand);
+  /// `strand` must be dedicated to this logger. `health` (optional) receives
+  /// the outcome of every flush.
+  Logger(std::string file_name, Env* env, std::shared_ptr<Strand> strand,
+         WalHealth* health = nullptr);
 
   /// Durably appends `record`; the future resolves after the enclosing group
   /// flush has synced. Safe from any thread.
@@ -47,6 +75,7 @@ class Logger {
   std::string file_name_;
   Env* env_;
   std::shared_ptr<Strand> strand_;
+  WalHealth* health_;
   /// Opened lazily on the first flush so that recovery can read the previous
   /// incarnation's log before this one truncates it.
   std::unique_ptr<WritableFile> file_;
@@ -90,6 +119,10 @@ class LogManager {
   size_t num_loggers() const { return loggers_.size(); }
   Logger& logger(size_t i) { return *loggers_[i]; }
 
+  /// Aggregate device health across the logger group.
+  WalHealth& health() { return health_; }
+  const WalHealth& health() const { return health_; }
+
   /// Aggregate stats across loggers.
   uint64_t TotalRecords() const;
   uint64_t TotalSyncs() const;
@@ -97,6 +130,7 @@ class LogManager {
 
  private:
   Options options_;
+  WalHealth health_;
   std::vector<std::unique_ptr<Logger>> loggers_;
 };
 

@@ -1,0 +1,86 @@
+// Crash-recovery chaos tests (ISSUE: robustness). Each round injects a
+// storage fault at a chosen or seed-derived Sync, crashes, recovers, and
+// checks the ack/durability invariants. Every round must terminate: an
+// in-flight future left unresolved by the fault is itself a failure (the
+// watchdog inside RunSmallBankChaos reports it as a violation).
+#include "harness/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace snapper::harness {
+namespace {
+
+std::string Describe(const ChaosReport& r) {
+  std::ostringstream os;
+  os << "fault_sync=" << r.fault_sync << " sticky=" << r.sticky
+     << " fired=" << r.fault_fired << " committed=" << r.committed
+     << " aborted=" << r.aborted << " in_doubt=" << r.in_doubt
+     << " unresolved=" << r.unresolved << " violation='" << r.violation << "'";
+  return os.str();
+}
+
+TEST(ChaosTest, NoFaultRoundIsCleanAndConserving) {
+  ChaosOptions options;
+  options.seed = 7;
+  options.inject_fault = false;
+  ChaosReport report = RunSmallBankChaos(options);
+  EXPECT_TRUE(report.ok()) << Describe(report);
+  EXPECT_EQ(report.unresolved, 0);
+  EXPECT_EQ(report.in_doubt, 0) << Describe(report);  // no fault, no races
+  EXPECT_GT(report.committed, 0);
+  EXPECT_EQ(report.committed + report.aborted, options.num_txns);
+}
+
+// Sync failures walked across the batch commit protocol (BatchInfo,
+// BatchComplete, BatchCommit records all flush through Sync): whatever step
+// the fault lands on, every future resolves and recovery agrees with the
+// acks. Odd positions are sticky (device stays gone until "replacement"),
+// exercising the degraded-WAL fast-fail path too.
+TEST(ChaosTest, SyncFailureDuringBatchCommit) {
+  for (uint64_t k = 1; k <= 8; ++k) {
+    ChaosOptions options;
+    options.seed = 100 + k;
+    options.act_fraction = 0.0;  // PACT-only: pure batch protocol
+    options.fault_sync = k;
+    options.sticky_probability = (k % 2 == 1) ? 1.0 : 0.0;
+    ChaosReport report = RunSmallBankChaos(options);
+    EXPECT_TRUE(report.ok()) << "k=" << k << " " << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "k=" << k;
+    if (k == 1) EXPECT_TRUE(report.fault_fired);  // first sync always exists
+  }
+}
+
+// Same walk over the ACT 2PC write points (ActPrepare, CoordPrepare,
+// CoordCommit): a failed commit-record sync must surface as an abort (the
+// fail-stop sync contract makes that sound), never a hang or a lost ack.
+TEST(ChaosTest, SyncFailureDuringAct2pc) {
+  for (uint64_t k = 1; k <= 8; ++k) {
+    ChaosOptions options;
+    options.seed = 200 + k;
+    options.act_fraction = 1.0;  // ACT-only: pure 2PC
+    options.fault_sync = k;
+    options.sticky_probability = (k % 2 == 0) ? 1.0 : 0.0;
+    ChaosReport report = RunSmallBankChaos(options);
+    EXPECT_TRUE(report.ok()) << "k=" << k << " " << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "k=" << k;
+    if (k == 1) EXPECT_TRUE(report.fault_fired);
+  }
+}
+
+// Randomized sweep (ISSUE acceptance: >= 20 seeds): mixed PACT/ACT, fault
+// point and stickiness derived from the seed. Balance conservation and
+// ack/durability agreement must hold on every seed.
+TEST(ChaosTest, RandomizedSeedSweepConservesBalances) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    ChaosReport report = RunSmallBankChaos(options);
+    EXPECT_TRUE(report.ok()) << "seed=" << seed << " " << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace snapper::harness

@@ -1,0 +1,223 @@
+#include "wal/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+namespace snapper {
+namespace {
+
+using Op = FaultInjectionEnv::Op;
+
+// Conformance + fault-semantics suite run over both base Envs: faults must
+// behave identically whether the device underneath is memory or a real
+// directory.
+class FaultEnvTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "posix") {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("snapper_fault_env_test_" + std::to_string(::getpid()));
+      base_ = std::make_unique<PosixEnv>(dir_.string(), /*fsync=*/false);
+    } else {
+      base_ = std::make_unique<MemEnv>();
+    }
+    env_ = std::make_unique<FaultInjectionEnv>(base_.get());
+  }
+
+  void TearDown() override {
+    env_.reset();
+    base_.reset();
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  std::string ReadAll(const std::string& name) {
+    std::string content;
+    Status s = env_->ReadFile(name, &content);
+    return s.ok() ? content : "<" + s.ToString() + ">";
+  }
+
+  std::unique_ptr<Env> base_;
+  std::unique_ptr<FaultInjectionEnv> env_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(FaultEnvTest, PassthroughWithoutFaults) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  ASSERT_TRUE(f->Append("hello ").ok());
+  ASSERT_TRUE(f->Append("world").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadAll("a.log"), "hello world");
+  EXPECT_EQ(env_->ops(Op::kNewFile), 1u);
+  EXPECT_EQ(env_->ops(Op::kAppend), 2u);
+  EXPECT_EQ(env_->ops(Op::kSync), 1u);
+  EXPECT_EQ(env_->total_ops(), 4u);
+  EXPECT_EQ(env_->faults_injected(), 0u);
+  EXPECT_TRUE(env_->FileExists("a.log"));
+  EXPECT_EQ(env_->ListFiles().size(), 1u);
+}
+
+TEST_P(FaultEnvTest, ReadsObserveOnlyDurableContent) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  ASSERT_TRUE(f->Append("synced").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("pending").ok());
+  // The unsynced tail is invisible — this is what recovery would see.
+  EXPECT_EQ(ReadAll("a.log"), "synced");
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadAll("a.log"), "syncedpending");
+}
+
+TEST_P(FaultEnvTest, FailNthAppendDisarmsAfterFiring) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  env_->FailNth(Op::kAppend, 2);
+  EXPECT_TRUE(f->Append("one").ok());
+  EXPECT_TRUE(f->Append("two").code() == StatusCode::kIOError);
+  EXPECT_TRUE(f->Append("three").ok());  // non-sticky: disarmed after firing
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadAll("a.log"), "onethree");
+  EXPECT_EQ(env_->faults_injected(), 1u);
+  EXPECT_FALSE(env_->device_failed());
+}
+
+TEST_P(FaultEnvTest, FailedSyncDropsUnsyncedTailForever) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  ASSERT_TRUE(f->Append("a").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("bb").ok());
+  env_->FailNth(Op::kSync, 1);
+  EXPECT_TRUE(f->Sync().code() == StatusCode::kIOError);
+  // Fail-stop contract: "bb" was discarded by the failed sync and must not
+  // resurface in a later successful one.
+  ASSERT_TRUE(f->Append("cc").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadAll("a.log"), "acc");
+}
+
+TEST_P(FaultEnvTest, StickyFaultFlipsDeviceGone) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  env_->FailNth(Op::kSync, 1, /*sticky=*/true);
+  ASSERT_TRUE(f->Append("x").ok());
+  EXPECT_TRUE(f->Sync().code() == StatusCode::kIOError);
+  EXPECT_TRUE(env_->device_failed());
+  // Everything fails now, including new file creation.
+  EXPECT_TRUE(f->Append("y").code() == StatusCode::kIOError);
+  EXPECT_TRUE(f->Sync().code() == StatusCode::kIOError);
+  std::unique_ptr<WritableFile> g;
+  EXPECT_TRUE(env_->NewWritableFile("b.log", &g).code() == StatusCode::kIOError);
+  // "Device replaced": operations succeed again.
+  env_->ClearFaults();
+  EXPECT_FALSE(env_->device_failed());
+  ASSERT_TRUE(f->Append("z").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadAll("a.log"), "z");  // x and y were dropped, z survives
+}
+
+TEST_P(FaultEnvTest, SetDeviceFailedDirectly) {
+  env_->SetDeviceFailed(true);
+  std::unique_ptr<WritableFile> f;
+  EXPECT_TRUE(env_->NewWritableFile("a.log", &f).code() == StatusCode::kIOError);
+  env_->SetDeviceFailed(false);
+  EXPECT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+}
+
+TEST_P(FaultEnvTest, CrashDropsUnsyncedAndInvalidatesHandles) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("xyz").ok());  // never synced
+  ASSERT_TRUE(env_->Crash().ok());
+  EXPECT_EQ(ReadAll("a.log"), "abc");
+  // The pre-crash handle is dead.
+  EXPECT_TRUE(f->Append("more").code() == StatusCode::kIOError);
+  EXPECT_TRUE(f->Sync().code() == StatusCode::kIOError);
+  // Reopening truncates, like the loggers do on restart.
+  std::unique_ptr<WritableFile> g;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &g).ok());
+  ASSERT_TRUE(g->Append("fresh").ok());
+  ASSERT_TRUE(g->Sync().ok());
+  EXPECT_EQ(ReadAll("a.log"), "fresh");
+}
+
+TEST_P(FaultEnvTest, CrashTearsDurableTail) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  ASSERT_TRUE(f->Append("abcdef").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(env_->Crash(/*tear_bytes=*/2).ok());
+  EXPECT_EQ(ReadAll("a.log"), "abcd");
+  // Tearing more than the file holds leaves it empty, not negative.
+  std::unique_ptr<WritableFile> g;
+  ASSERT_TRUE(env_->NewWritableFile("b.log", &g).ok());
+  ASSERT_TRUE(g->Append("xy").ok());
+  ASSERT_TRUE(g->Sync().ok());
+  ASSERT_TRUE(env_->Crash(/*tear_bytes=*/100).ok());
+  EXPECT_EQ(ReadAll("b.log"), "");
+}
+
+TEST_P(FaultEnvTest, DeleteFileForwardsAndInvalidates) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("a.log", &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(env_->DeleteFile("a.log").ok());
+  EXPECT_FALSE(env_->FileExists("a.log"));
+  EXPECT_TRUE(f->Append("x").code() == StatusCode::kIOError);
+}
+
+TEST_P(FaultEnvTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto run = [](Env* base) {
+    FaultInjectionEnv env(base);
+    env.FailProbabilistically(0.5, /*seed=*/7);
+    std::unique_ptr<WritableFile> f;
+    EXPECT_TRUE(env.NewWritableFile("p.log", &f).ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += f->Append("x").ok() ? 'a' : 'A';
+      pattern += f->Sync().ok() ? 's' : 'S';
+    }
+    EXPECT_GT(env.faults_injected(), 0u);
+    EXPECT_LT(env.faults_injected(), 128u);
+    return pattern;
+  };
+  MemEnv base1, base2;
+  EXPECT_EQ(run(&base1), run(&base2));
+}
+
+TEST_P(FaultEnvTest, OpCountersTargetExactCrashPoints) {
+  // Pass 1: count the syncs a fixed workload performs.
+  auto workload = [this](const std::string& name) {
+    std::unique_ptr<WritableFile> f;
+    if (!env_->NewWritableFile(name, &f).ok()) return;
+    for (int i = 0; i < 5; ++i) {
+      if (!f->Append("rec").ok()) return;
+      if (!f->Sync().ok()) return;
+    }
+  };
+  workload("count.log");
+  const uint64_t syncs = env_->ops(Op::kSync);
+  ASSERT_EQ(syncs, 5u);
+  // Pass 2: replay with a fault armed at the final sync; exactly the last
+  // record is lost.
+  env_->FailNth(Op::kSync, syncs);
+  workload("replay.log");
+  EXPECT_EQ(env_->faults_injected(), 1u);
+  EXPECT_EQ(ReadAll("replay.log"), "recrecrecrec");
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, FaultEnvTest,
+                         ::testing::Values("mem", "posix"));
+
+}  // namespace
+}  // namespace snapper

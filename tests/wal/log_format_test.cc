@@ -33,6 +33,9 @@ TEST_P(LogRecordRoundTrip, EncodeDecodeIdentity) {
       r.type == LogRecordType::kActCoordPrepare) {
     r.participants = {ActorId{1, 1}, ActorId{2, 2}};
   }
+  if (r.type == LogRecordType::kBatchInfo) {
+    r.prev_id = 0xdeadbeef12344ull;  // emission-chain predecessor
+  }
   if (r.type == LogRecordType::kBatchComplete ||
       r.type == LogRecordType::kActPrepare) {
     r.state = std::string(100, 's');
@@ -46,6 +49,7 @@ TEST_P(LogRecordRoundTrip, EncodeDecodeIdentity) {
   EXPECT_EQ(decoded.actor, r.actor);
   EXPECT_EQ(decoded.participants, r.participants);
   EXPECT_EQ(decoded.state, r.state);
+  EXPECT_EQ(decoded.prev_id, r.prev_id);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTypes, LogRecordRoundTrip,
