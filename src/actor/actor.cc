@@ -53,9 +53,37 @@ std::shared_ptr<ActorBase> ActorRuntime::GetOrActivate(const ActorId& id) {
   return actor;
 }
 
+bool ActorRuntime::KillActor(const ActorId& id) {
+  Shard& shard = *shards_[ActorIdHash()(id) % kShards];
+  std::shared_ptr<ActorBase> actor;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it == shard.map.end()) return false;
+    actor = std::move(it->second);
+    shard.map.erase(it);
+  }
+  // Evicted first, flagged second: any dispatch racing the eviction either
+  // reaches the zombie (whose gates check failed()) or activates a fresh
+  // instance — never a half-dead hybrid.
+  actor->failed_.store(true, std::memory_order_release);
+  num_kills_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(actor);  // pin the zombie: frames hold raw `this`
+  }
+  actor->strand_->Post([actor]() { actor->OnKill(); });
+  return true;
+}
+
 void ActorRuntime::CrashAllActors() {
+  std::lock_guard<std::mutex> retired_lock(retired_mu_);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, actor] : shard->map) {
+      actor->failed_.store(true, std::memory_order_release);
+      retired_.push_back(std::move(actor));
+    }
     shard->map.clear();
   }
   num_activations_.store(0);
@@ -64,6 +92,9 @@ void ActorRuntime::CrashAllActors() {
 void ActorRuntime::Shutdown() {
   timers_.Stop();
   executor_.Stop();
+  // Workers are parked: no frame can touch a zombie anymore.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_.clear();
 }
 
 uint32_t ActorRuntime::RandomDelayMs() {

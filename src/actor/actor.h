@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "actor/message_faults.h"
 #include "async/executor.h"
 #include "async/future.h"
 #include "async/task.h"
@@ -77,11 +78,22 @@ class ActorBase : public std::enable_shared_from_this<ActorBase> {
   /// Called once on the actor's strand right after activation.
   virtual void OnActivate() {}
 
+  /// Called as the kill turn on the (former) actor's strand after
+  /// ActorRuntime::KillActor evicted it. Subclasses fail their pending
+  /// waiters here so no one blocks on a dead activation forever.
+  virtual void OnKill() {}
+
+  /// True once this activation was fail-stop killed. Turns already queued on
+  /// the strand still run (fail-stop granularity is the turn boundary);
+  /// subclasses gate their entry points on this.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
  private:
   friend class ActorRuntime;
   ActorId id_;
   ActorRuntime* runtime_ = nullptr;
   std::shared_ptr<Strand> strand_;
+  std::atomic<bool> failed_{false};
 };
 
 /// In-process actor directory + scheduler.
@@ -124,21 +136,43 @@ class ActorRuntime {
   /// turns on the target actor's strand. The returned future resolves with
   /// the task's result. Delivery order between distinct calls is
   /// unspecified.
+  ///
+  /// `guard` declares the message's delivery class for fault injection:
+  /// kDroppable callers assert they survive loss and duplication of this
+  /// message (see message_faults.h). A dropped message returns a future that
+  /// never resolves — exactly what real loss looks like to the sender. A
+  /// duplicated message runs `fn` twice; kDroppable call sites must capture
+  /// by value and target idempotent receivers.
   template <typename A, typename Fn>
-  auto Call(const ActorId& id, Fn fn) {
+  auto Call(const ActorId& id, Fn fn, MsgGuard guard = MsgGuard::kReliable) {
     auto actor = Get<A>(id);
     using TaskT = std::invoke_result_t<Fn, A&>;
+    uint32_t delay_ms = 0;
+    if (msg_faults_.active()) {
+      const auto d = msg_faults_.Decide(guard);
+      if (d.drop) {
+        // Simulated loss: take the future, then let the unstarted task
+        // destruct — the coroutine frame is freed, the future stays pending.
+        auto task = fn(*actor);
+        return task.GetFuture();
+      }
+      if (d.duplicate) {
+        fn(*actor).Start(*actor->strand_);  // second delivery, result dropped
+      }
+      delay_ms = d.delay_ms;
+    }
+    if (delay_ms == 0 && max_delay_ms_ != 0) delay_ms = RandomDelayMs();
     auto task = fn(*actor);
-    if (max_delay_ms_ == 0) {
+    if (delay_ms == 0) {
       return task.Start(actor->strand());
     }
-    // Delay injection: hold the first turn back for a random interval.
+    // Delay injection: hold the first turn back for the chosen interval.
     auto future = task.GetFuture();
-    auto delay = std::chrono::milliseconds(RandomDelayMs());
     auto strand = actor->strand_;
     // Move the task into a shared slot the timer callback can start from.
     auto slot = std::make_shared<TaskT>(std::move(task));
-    timers_.Schedule(delay, [slot, strand]() { slot->Start(*strand); });
+    timers_.Schedule(std::chrono::milliseconds(delay_ms),
+                     [slot, strand]() { slot->Start(*strand); });
     return future;
   }
 
@@ -162,6 +196,20 @@ class ActorRuntime {
 
   size_t num_activations() const { return num_activations_.load(); }
   size_t num_workers() const { return executor_.num_threads(); }
+
+  /// Message-fault injection hook applied inside Call. Always present;
+  /// inactive (and nearly free) unless armed.
+  MessageFaultInjector& msg_faults() { return msg_faults_; }
+
+  /// Fail-stop kill of one activation: it is evicted from the directory (the
+  /// next dispatch activates a fresh instance — Orleans reactivation), its
+  /// `failed()` flag is set, and a final OnKill() turn is posted to its
+  /// strand so it can fail pending waiters. Turns already queued keep
+  /// running against the zombie instance; its gates reject them. Returns
+  /// false if the actor had no live activation.
+  bool KillActor(const ActorId& id);
+
+  size_t num_kills() const { return num_kills_.load(); }
 
   /// Simulates losing all in-memory actor state (a silo crash): drops every
   /// activation. Subsequent calls re-activate fresh instances, which recover
@@ -189,9 +237,19 @@ class ActorRuntime {
   };
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Evicted (killed / crashed) activations, kept allocated until Shutdown:
+  /// in-flight coroutine frames hold plain `this` references to their actor,
+  /// so freeing a zombie while its strand still has queued turns would be a
+  /// use-after-free. The gates behind failed() keep zombies inert; this list
+  /// just pins their storage. Bounded by kills per runtime lifetime.
+  std::mutex retired_mu_;
+  std::vector<std::shared_ptr<ActorBase>> retired_;
+
   std::mutex rng_mu_;
   Rng rng_;
+  MessageFaultInjector msg_faults_;
   std::atomic<size_t> num_activations_{0};
+  std::atomic<size_t> num_kills_{0};
   std::atomic<uint32_t> max_delay_ms_{0};
   void* app_context_ = nullptr;
 };

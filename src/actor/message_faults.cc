@@ -1,0 +1,84 @@
+#include "actor/message_faults.h"
+
+namespace snapper {
+
+void MessageFaultInjector::FailNth(Action action, uint64_t n, bool sticky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_armed_ = n > 0;
+  scripted_action_ = action;
+  scripted_countdown_ = n;
+  scripted_sticky_ = sticky;
+  RecomputeActive();
+}
+
+void MessageFaultInjector::InjectProbabilistically(const Options& options,
+                                                   uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probabilistic_armed_ = true;
+  options_ = options;
+  rng_ = Rng(seed);
+  RecomputeActive();
+}
+
+void MessageFaultInjector::SetLinkDown(bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  link_down_ = down;
+  RecomputeActive();
+}
+
+void MessageFaultInjector::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_armed_ = false;
+  probabilistic_armed_ = false;
+  link_down_ = false;
+  RecomputeActive();
+}
+
+void MessageFaultInjector::RecomputeActive() {
+  active_.store(scripted_armed_ || probabilistic_armed_ || link_down_,
+                std::memory_order_release);
+}
+
+MessageFaultInjector::Decision MessageFaultInjector::Decide(MsgGuard guard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  messages_.fetch_add(1);
+  Decision d;
+  const bool droppable = guard == MsgGuard::kDroppable;
+  if (droppable && link_down_) {
+    d.drop = true;
+  } else if (droppable && scripted_armed_) {
+    if (scripted_countdown_ > 0) --scripted_countdown_;
+    if (scripted_countdown_ == 0) {
+      switch (scripted_action_) {
+        case Action::kDrop: d.drop = true; break;
+        case Action::kDuplicate: d.duplicate = true; break;
+        case Action::kDelay:
+          d.delay_ms = options_.max_delay_ms > 0 ? options_.max_delay_ms : 1;
+          break;
+      }
+      if (!scripted_sticky_) scripted_armed_ = false;
+      RecomputeActive();
+    }
+  }
+  if (probabilistic_armed_) {
+    if (droppable && !d.drop && !d.duplicate) {
+      if (rng_.Bernoulli(options_.drop_probability)) {
+        d.drop = true;
+      } else if (rng_.Bernoulli(options_.duplicate_probability)) {
+        d.duplicate = true;
+      }
+    }
+    if (!d.drop && d.delay_ms == 0 &&
+        rng_.Bernoulli(options_.delay_probability) &&
+        options_.max_delay_ms > 0) {
+      d.delay_ms =
+          1 + static_cast<uint32_t>(rng_.Uniform(options_.max_delay_ms));
+    }
+  }
+  if (d.drop) dropped_.fetch_add(1);
+  if (d.duplicate) duplicated_.fetch_add(1);
+  if (d.delay_ms > 0) delayed_.fetch_add(1);
+  return d;
+}
+
+}  // namespace snapper

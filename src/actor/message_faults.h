@@ -1,0 +1,105 @@
+// Message-level fault injection for the actor runtime, mirroring
+// FaultInjectionEnv's scripted / sticky / probabilistic API one layer up:
+// where that class fails storage ops, this one delays, drops, or duplicates
+// inter-actor messages at the dispatch boundary (ActorRuntime::Call).
+//
+// Faults distinguish two delivery classes, chosen by the *caller* of Call:
+//   - kReliable (default): may only be delayed. The runtime's internal
+//     control traffic (token passes, transaction starts, abort rounds) has
+//     no retry/recovery story by design — dropping it would deadlock the
+//     system rather than exercise a failure path.
+//   - kDroppable: may be dropped or duplicated as well. Every kDroppable
+//     call site has an explicit recovery mechanism (a liveness watchdog, a
+//     vote timeout, or an idempotent receiver), so loss and duplication are
+//     survivable — that contract is what this injector tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace snapper {
+
+/// Delivery class a caller assigns to one ActorRuntime::Call. See above.
+enum class MsgGuard {
+  kReliable,   ///< delay only
+  kDroppable,  ///< delay, drop, or duplicate; caller has a recovery path
+};
+
+class MessageFaultInjector {
+ public:
+  /// What a scripted fault does to the targeted message.
+  enum class Action { kDrop, kDuplicate, kDelay };
+
+  /// Probabilistic fault mix. Drop wins over duplicate if both fire; delay
+  /// composes with either. Drop/duplicate apply only to kDroppable
+  /// messages; delay applies to every message.
+  struct Options {
+    double drop_probability = 0;
+    double duplicate_probability = 0;
+    double delay_probability = 0;
+    uint32_t max_delay_ms = 2;  ///< delays are uniform in [1, max_delay_ms]
+  };
+
+  /// The injector's verdict for one message.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    uint32_t delay_ms = 0;
+  };
+
+  /// Arms `action` against the n-th (1-based, counted from arming) droppable
+  /// message; `sticky` keeps it armed for every droppable message from the
+  /// n-th onward. Replaces any previous script.
+  void FailNth(Action action, uint64_t n, bool sticky = false);
+
+  /// Arms seeded probabilistic faults per `options`. Composes with FailNth
+  /// (the scripted fault takes precedence on its target message).
+  void InjectProbabilistically(const Options& options, uint64_t seed);
+
+  /// Sticky drop of every droppable message ("network partition").
+  void SetLinkDown(bool down);
+
+  /// Disarms everything; counters keep their values.
+  void ClearFaults();
+
+  /// Called by the runtime per dispatched message. Thread-safe.
+  Decision Decide(MsgGuard guard);
+
+  /// Fast path: false when no fault is armed, letting dispatch skip the
+  /// mutex entirely.
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  uint64_t messages() const { return messages_.load(); }
+  uint64_t dropped() const { return dropped_.load(); }
+  uint64_t duplicated() const { return duplicated_.load(); }
+  uint64_t delayed() const { return delayed_.load(); }
+  uint64_t faults_injected() const {
+    return dropped_.load() + duplicated_.load() + delayed_.load();
+  }
+
+ private:
+  void RecomputeActive();  // callers hold mu_
+
+  std::mutex mu_;
+  // Scripted fault (FailNth / SetLinkDown).
+  bool scripted_armed_ = false;
+  Action scripted_action_ = Action::kDrop;
+  uint64_t scripted_countdown_ = 0;  // droppable messages until it fires
+  bool scripted_sticky_ = false;
+  bool link_down_ = false;
+  // Probabilistic faults.
+  bool probabilistic_armed_ = false;
+  Options options_;
+  Rng rng_{0};
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> delayed_{0};
+};
+
+}  // namespace snapper

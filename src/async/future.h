@@ -63,8 +63,11 @@ class FutureState {
       if (value_.index() != 0) return false;
       value_.template emplace<1>(std::move(v));
       conts.swap(continuations_);
+      // Notify while holding mu_: a waiter in Wait() may own the last
+      // external reference and destroy this state as soon as it returns, so
+      // the condvar must not be touched after the lock is released.
+      cv_.notify_all();
     }
-    cv_.notify_all();
     for (auto& c : conts) c();
     return true;
   }
@@ -76,8 +79,8 @@ class FutureState {
       if (value_.index() != 0) return false;
       value_.template emplace<2>(std::move(e));
       conts.swap(continuations_);
+      cv_.notify_all();  // under mu_; see TrySet
     }
-    cv_.notify_all();
     for (auto& c : conts) c();
     return true;
   }

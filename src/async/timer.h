@@ -63,4 +63,40 @@ class TimerService {
 Future<Status> AwaitStatusWithTimeout(TimerService& timers, Future<Status> f,
                                       std::chrono::milliseconds timeout);
 
+/// Generalization of AwaitStatusWithTimeout for arbitrary result types: the
+/// result future resolves with `f`'s value if it arrives in time, otherwise
+/// with `fallback`. An *exceptional* resolution of `f` also maps to
+/// `fallback`: the 2PC and cleanup paths that use this treat "no answer",
+/// "timed out", and "errored" identically (conservative vote-no / proceed).
+/// `on_timeout`, if set, runs only when the timer decided the result.
+template <typename T>
+Future<T> AwaitWithFallback(TimerService& timers, Future<T> f,
+                            std::chrono::milliseconds timeout,
+                            WrapVoid<T> fallback,
+                            std::function<void()> on_timeout = nullptr) {
+  auto state = std::make_shared<FutureState<T>>();
+  if (f.ready()) {
+    try {
+      state->TrySet(f.Peek());
+    } catch (...) {
+      state->TrySet(fallback);
+    }
+    return Future<T>(state);
+  }
+  TimerId id = timers.Schedule(
+      timeout, [state, fallback, on_timeout = std::move(on_timeout)]() {
+        if (state->TrySet(fallback) && on_timeout) on_timeout();
+      });
+  f.OnReady([state, f, &timers, id, fallback]() {
+    bool won;
+    try {
+      won = state->TrySet(f.Peek());
+    } catch (...) {
+      won = state->TrySet(fallback);
+    }
+    if (won) timers.Cancel(id);
+  });
+  return Future<T>(state);
+}
+
 }  // namespace snapper

@@ -25,6 +25,12 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(x);
 }
 
+uint64_t Rng::Derive(uint64_t seed, uint64_t stream) {
+  uint64_t x = seed;
+  x = SplitMix64(x) ^ stream;
+  return SplitMix64(x);
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

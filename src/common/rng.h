@@ -27,6 +27,12 @@ class Rng {
   /// True with probability p.
   bool Bernoulli(double p) { return NextDouble() < p; }
 
+  /// Mixes (seed, stream) into an independent sub-seed. Use this instead of
+  /// `seed ^ stream` when fanning one master seed out to per-client /
+  /// per-subsystem generators: XOR keeps adjacent sweeps correlated
+  /// (seed^1 of sweep s equals seed of sweep s^1), a full mix does not.
+  static uint64_t Derive(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
 };

@@ -32,6 +32,7 @@ const char* AbortReasonName(AbortReason reason) {
     case AbortReason::kCascading: return "cascading";
     case AbortReason::kEarlyLockRelease: return "early-lock-release";
     case AbortReason::kSystemFailure: return "system-failure";
+    case AbortReason::kActorFailed: return "actor-failed";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class AbortReason : int {
   kCascading,            ///< Rolled back because a dependency aborted.
   kEarlyLockRelease,     ///< OrleansTxn baseline: dirty-read dependency aborted.
   kSystemFailure,        ///< Crash / recovery decided abort.
+  kActorFailed,          ///< A participant actor was fail-stop killed.
 };
 
 /// Human-readable name for an abort reason (stable, used in bench output).

@@ -1,14 +1,17 @@
 #include "harness/chaos.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "otxn/otxn_runtime.h"
 #include "snapper/snapper_runtime.h"
 #include "wal/fault_env.h"
 #include "workloads/smallbank.h"
@@ -215,6 +218,393 @@ ChaosReport RunSmallBankChaos(const ChaosOptions& options) {
 
   report.violation = violations.str();
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Actor-layer chaos (kills + message faults)
+// ---------------------------------------------------------------------------
+
+std::string ActorChaosReport::ToJson() const {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"committed\":" << committed << ",\"aborted\":" << aborted
+     << ",\"in_doubt\":" << in_doubt << ",\"unresolved\":" << unresolved
+     << ",\"actor_kills\":" << actor_kills
+     << ",\"reactivations\":" << reactivations
+     << ",\"reactivation_us\":" << reactivation_us
+     << ",\"watchdog_batch_aborts\":" << watchdog_batch_aborts
+     << ",\"watchdog_act_aborts\":" << watchdog_act_aborts
+     << ",\"watchdog_act_resolutions\":" << watchdog_act_resolutions
+     << ",\"txn_deadline_aborts\":" << txn_deadline_aborts
+     << ",\"msgs_total\":" << msgs_total
+     << ",\"msgs_dropped\":" << msgs_dropped
+     << ",\"msgs_duplicated\":" << msgs_duplicated
+     << ",\"msgs_delayed\":" << msgs_delayed
+     << ",\"total_balance\":" << total_balance
+     << ",\"expected_total\":" << expected_total
+     << ",\"ok\":" << (ok() ? "true" : "false") << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Deterministic-abort set for actor-chaos rounds: everything in
+/// IsDeterministicAbort plus kActorFailed — a transaction acked with
+/// actor-failed never reached the durable commit path (the failed access
+/// keeps its batch from completing / its 2PC from preparing).
+bool IsDeterministicActorAbort(const Status& status) {
+  if (IsDeterministicAbort(status)) return true;
+  return status.IsTxnAborted() &&
+         status.abort_reason() == AbortReason::kActorFailed;
+}
+
+void ArmMessageFaults(MessageFaultInjector& faults,
+                      const ActorChaosOptions& options) {
+  if (options.drop_nth > 0) {
+    faults.FailNth(MessageFaultInjector::Action::kDrop, options.drop_nth,
+                   options.drop_sticky);
+  }
+  if (options.msg_drop_p > 0 || options.msg_dup_p > 0 ||
+      options.msg_delay_p > 0) {
+    MessageFaultInjector::Options mf;
+    mf.drop_probability = options.msg_drop_p;
+    mf.duplicate_probability = options.msg_dup_p;
+    mf.delay_probability = options.msg_delay_p;
+    mf.max_delay_ms = options.msg_max_delay_ms;
+    // Distinct stream: the fault coin flips must not correlate with the
+    // traffic generator's choices.
+    faults.InjectProbabilistically(mf, Rng::Derive(options.seed, 0xfa));
+  }
+}
+
+void CopyFaultCounters(const MessageFaultInjector& faults,
+                       ActorChaosReport& report) {
+  report.msgs_total = faults.messages();
+  report.msgs_dropped = faults.dropped();
+  report.msgs_duplicated = faults.duplicated();
+  report.msgs_delayed = faults.delayed();
+}
+
+/// Waits for `gates` WhenAll arrivals with one deadline. Returns false on
+/// watchdog expiry.
+struct ArrivalGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+};
+
+ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
+  ActorChaosReport report;
+  Rng rng(options.seed);
+
+  // Healthy storage wrapped in FaultInjectionEnv only for its Crash()
+  // (silo-death) semantics at phase 2; no storage faults are armed.
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  SnapperConfig config = ChaosConfig(options.seed);
+  config.batch_deadline = options.batch_deadline;
+  config.act_resolution_deadline = options.act_resolution_deadline;
+  config.txn_deadline = options.txn_deadline;
+  const int num_accounts = options.num_roots + options.num_txns;
+  report.expected_total = kPerAccount * num_accounts;
+
+  // Leaked (released, not destroyed) if the watchdog expires; see
+  // RunSmallBankChaos.
+  auto rt = std::make_unique<SnapperRuntime>(config, &env);
+  const uint32_t type = smallbank::RegisterSmallBank(*rt);
+  rt->Start();
+
+  auto& faults = rt->runtime().msg_faults();
+  ArmMessageFaults(faults, options);
+
+  std::vector<Future<TxnResult>> futures;
+  std::vector<Future<Unit>> kill_acks;
+  std::vector<bool> is_act;
+  futures.reserve(options.num_txns);
+  const int kill_at = std::max(1, options.num_txns / 3);
+  for (int i = 0; i < options.num_txns; ++i) {
+    if (i == kill_at) {
+      for (int k = 0; k < options.num_kills; ++k) {
+        const auto victim = ActorId{type, rng.Uniform(num_accounts)};
+        kill_acks.push_back(rt->KillActor(victim));
+      }
+    }
+    const uint64_t from = rng.Uniform(options.num_roots);
+    const uint64_t to = options.num_roots + i;
+    const bool act = rng.NextDouble() < options.act_fraction;
+    is_act.push_back(act);
+    Value input = smallbank::MultiTransferInput(options.amount, {to});
+    if (act) {
+      futures.push_back(rt->SubmitAct(ActorId{type, from}, "MultiTransfer",
+                                      std::move(input)));
+    } else {
+      futures.push_back(rt->SubmitPact(
+          ActorId{type, from}, "MultiTransfer", std::move(input),
+          smallbank::SmallBankActor::MultiTransferAccessInfo(type, from,
+                                                             {to})));
+    }
+  }
+
+  auto gate = std::make_shared<ArrivalGate>();
+  gate->remaining = 2;
+  auto arrive = [gate]() {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    if (--gate->remaining == 0) gate->cv.notify_all();
+  };
+  WhenAll(futures).OnReady(arrive);
+  WhenAll(kill_acks).OnReady(arrive);
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    const bool resolved = gate->cv.wait_for(
+        lock, std::chrono::duration<double>(options.watchdog_seconds),
+        [&gate]() { return gate->remaining == 0; });
+    if (!resolved) {
+      for (const auto& f : futures) {
+        if (!f.ready()) report.unresolved++;
+      }
+      int kills_pending = 0;
+      for (const auto& f : kill_acks) {
+        if (!f.ready()) kills_pending++;
+      }
+      std::ostringstream os;
+      os << "hang: " << report.unresolved << "/" << options.num_txns
+         << " txn futures and " << kills_pending << "/" << kill_acks.size()
+         << " kill acks unresolved after " << options.watchdog_seconds << "s";
+      report.violation = os.str();
+      CopyFaultCounters(faults, report);
+      rt.release();  // deliberate leak, see above
+      return report;
+    }
+  }
+
+  std::vector<Status> outcomes;
+  outcomes.reserve(options.num_txns);
+  for (const auto& f : futures) {
+    outcomes.push_back(f.Peek().status);
+    if (outcomes.back().ok()) {
+      report.committed++;
+    } else if (IsDeterministicActorAbort(outcomes.back())) {
+      report.aborted++;
+    } else {
+      report.in_doubt++;
+    }
+  }
+
+  faults.ClearFaults();
+  CopyFaultCounters(faults, report);
+  const auto& counters = rt->context().counters;
+  report.actor_kills = counters.actor_kills.load();
+  report.reactivations = counters.reactivations.load();
+  report.reactivation_us = counters.reactivation_us.load();
+  report.watchdog_batch_aborts = counters.watchdog_batch_aborts.load();
+  report.watchdog_act_aborts = counters.watchdog_act_aborts.load();
+  report.watchdog_act_resolutions = counters.watchdog_act_resolutions.load();
+  report.txn_deadline_aborts = counters.txn_deadline_aborts.load();
+
+  // --- Phase 2: silo crash, recover from the WAL, check invariants. This
+  // verifies that kill/reactivate cycles and message faults left a log from
+  // which the committed prefix is still exactly recoverable.
+  rt.reset();
+  Status crash_status = env.Crash(/*tear_bytes=*/0);
+  if (!crash_status.ok()) {
+    report.violation = "Crash(): " + crash_status.ToString();
+    return report;
+  }
+
+  SnapperRuntime recovered(config, &env);
+  const uint32_t rtype = smallbank::RegisterSmallBank(recovered);
+  auto recovery = recovered.Recover();
+  if (!recovery.ok()) {
+    report.violation = "Recover(): " + recovery.status().ToString();
+    return report;
+  }
+  recovered.Start();
+
+  std::ostringstream violations;
+  violations.precision(15);
+  double total = 0;
+  std::vector<double> balance(num_accounts, 0);
+  for (int a = 0; a < num_accounts; ++a) {
+    TxnResult r =
+        recovered.RunNt(ActorId{rtype, static_cast<uint64_t>(a)}, "Balance",
+                        Value(ValueMap{}));
+    if (!r.ok()) {
+      violations << "Balance(" << a << ") failed: " << r.status.ToString()
+                 << "; ";
+      continue;
+    }
+    balance[a] = r.value.AsDouble();
+    total += balance[a];
+  }
+  report.total_balance = total;
+
+  if (std::fabs(total - report.expected_total) > kEps) {
+    violations << "conservation: total " << total << " != expected "
+               << report.expected_total << "; ";
+  }
+  for (int i = 0; i < options.num_txns; ++i) {
+    const double b = balance[options.num_roots + i];
+    const bool durable = std::fabs(b - (kPerAccount + options.amount)) <= kEps;
+    const bool invisible = std::fabs(b - kPerAccount) <= kEps;
+    const Status& s = outcomes[i];
+    const char* kind = is_act[i] ? "ACT" : "PACT";
+    if (!durable && !invisible) {
+      violations << kind << " txn " << i << ": unexplained balance " << b
+                 << "; ";
+    } else if (s.ok() && !durable) {
+      violations << kind << " txn " << i
+                 << ": acked committed but not durable; ";
+    } else if (IsDeterministicActorAbort(s) && !invisible) {
+      violations << kind << " txn " << i << ": acked abort (" << s.ToString()
+                 << ") but effects durable; ";
+    }
+  }
+  report.violation = violations.str();
+  return report;
+}
+
+ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
+  ActorChaosReport report;
+  Rng rng(options.seed);
+
+  MemEnv env;
+  otxn::OtxnConfig config;
+  config.num_workers = 2;
+  config.num_loggers = 2;
+  config.seed = options.seed;
+  const int num_accounts = options.num_roots + options.num_txns;
+  report.expected_total = kPerAccount * num_accounts;
+
+  auto rt = std::make_unique<otxn::OtxnRuntime>(config, &env);
+  const uint32_t type =
+      rt->RegisterActorType("SmallBankAccount", [](uint64_t) {
+        return std::make_shared<smallbank::SmallBankLogic<otxn::OtxnActor>>();
+      });
+
+  auto& faults = rt->runtime().msg_faults();
+  ArmMessageFaults(faults, options);
+
+  std::vector<Future<TxnResult>> futures;
+  futures.reserve(options.num_txns);
+  const int kill_at = std::max(1, options.num_txns / 3);
+  for (int i = 0; i < options.num_txns; ++i) {
+    if (i == kill_at) {
+      for (int k = 0; k < options.num_kills; ++k) {
+        rt->KillActor(ActorId{type, rng.Uniform(num_accounts)});
+      }
+    }
+    const uint64_t from = rng.Uniform(options.num_roots);
+    const uint64_t to = options.num_roots + i;
+    futures.push_back(
+        rt->Submit(ActorId{type, from}, "MultiTransfer",
+                   smallbank::MultiTransferInput(options.amount, {to})));
+  }
+
+  auto gate = std::make_shared<Gate>();
+  WhenAll(futures).OnReady([gate]() {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->done = true;
+    gate->cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    const bool resolved = gate->cv.wait_for(
+        lock, std::chrono::duration<double>(options.watchdog_seconds),
+        [&gate]() { return gate->done; });
+    if (!resolved) {
+      for (const auto& f : futures) {
+        if (!f.ready()) report.unresolved++;
+      }
+      std::ostringstream os;
+      os << "hang: " << report.unresolved << "/" << options.num_txns
+         << " futures unresolved after " << options.watchdog_seconds << "s";
+      report.violation = os.str();
+      CopyFaultCounters(faults, report);
+      rt.release();  // deliberate leak, see RunSmallBankChaos
+      return report;
+    }
+  }
+
+  // The TA decides every transaction before its ack, so there is no
+  // in-doubt class here: acked OK must be durable, anything else invisible.
+  std::vector<Status> outcomes;
+  outcomes.reserve(options.num_txns);
+  for (const auto& f : futures) {
+    outcomes.push_back(f.Peek().status);
+    if (outcomes.back().ok()) {
+      report.committed++;
+    } else {
+      report.aborted++;
+    }
+  }
+
+  faults.ClearFaults();
+  CopyFaultCounters(faults, report);
+
+  // --- Final kill-all: every account's state must rebuild purely from the
+  // WAL plus the TA's decision table. This also clears any residue of
+  // dropped Commit/Abort messages (stale dirty-write stacks, stuck locks).
+  for (int a = 0; a < num_accounts; ++a) {
+    rt->KillActor(ActorId{type, static_cast<uint64_t>(a)});
+  }
+
+  std::ostringstream violations;
+  violations.precision(15);
+  double total = 0;
+  std::vector<double> balance(num_accounts, 0);
+  for (int a = 0; a < num_accounts; ++a) {
+    // Reactivation is asynchronous and rejects reads until the WAL replay
+    // finishes; retry with a bound.
+    TxnResult r;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      r = rt->Run(ActorId{type, static_cast<uint64_t>(a)}, "Balance",
+                  Value(ValueMap{}));
+      if (r.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!r.ok()) {
+      violations << "Balance(" << a << ") failed: " << r.status.ToString()
+                 << "; ";
+      continue;
+    }
+    balance[a] = r.value.AsDouble();
+    total += balance[a];
+  }
+  report.total_balance = total;
+
+  if (std::fabs(total - report.expected_total) > kEps) {
+    violations << "conservation: total " << total << " != expected "
+               << report.expected_total << "; ";
+  }
+  for (int i = 0; i < options.num_txns; ++i) {
+    const double b = balance[options.num_roots + i];
+    const bool durable = std::fabs(b - (kPerAccount + options.amount)) <= kEps;
+    const bool invisible = std::fabs(b - kPerAccount) <= kEps;
+    if (outcomes[i].ok() && !durable) {
+      violations << "otxn txn " << i << ": acked committed but not durable"
+                 << " (balance " << b << "); ";
+    } else if (!outcomes[i].ok() && !invisible) {
+      violations << "otxn txn " << i << ": acked abort ("
+                 << outcomes[i].ToString() << ") but balance " << b << "; ";
+    }
+  }
+
+  report.actor_kills = rt->counters().actor_kills.load();
+  report.reactivations = rt->counters().reactivations.load();
+  report.reactivation_us = rt->counters().reactivation_us.load();
+  report.watchdog_act_aborts = rt->counters().watchdog_act_aborts.load();
+  report.watchdog_act_resolutions =
+      rt->counters().watchdog_act_resolutions.load();
+
+  report.violation = violations.str();
+  return report;
+}
+
+}  // namespace
+
+ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options) {
+  return options.use_otxn ? RunOtxnActorChaos(options)
+                          : RunSnapperActorChaos(options);
 }
 
 }  // namespace snapper::harness

@@ -22,6 +22,7 @@
 //          crash) may have either outcome, but a consistent one.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -69,5 +70,82 @@ struct ChaosReport {
 
 /// Runs one chaos round. Deterministic for a fixed ChaosOptions.
 ChaosReport RunSmallBankChaos(const ChaosOptions& options);
+
+// ---------------------------------------------------------------------------
+// Actor-layer chaos: fail-stop actor kills + message-level faults (drop /
+// duplicate / delay) under healthy storage, over the same decodable
+// SmallBank traffic. Per round:
+//   1. Open a runtime (Snapper, or the OrleansTxn baseline with use_otxn),
+//      arm seeded message faults, submit the PACT/ACT (or otxn) mix.
+//   2. Mid-run, fail-stop kill `num_kills` random account actors; Snapper
+//      transparently reactivates them from the WAL.
+//   3. Wait for every submission (and kill acknowledgement) under a
+//      watchdog: liveness deadlines must resolve everything — a hang is an
+//      invariant violation.
+//   4. Snapper: crash the silo, recover from the WAL, check conservation /
+//      ack-durability / abort-invisibility over recovered balances.
+//      otxn: kill every account actor (state rebuilds from WAL + the TA's
+//      decision table) and check the same invariants over live balances.
+// ---------------------------------------------------------------------------
+
+struct ActorChaosOptions {
+  uint64_t seed = 1;
+  int num_roots = 6;
+  int num_txns = 24;          ///< each txn i deposits into account num_roots+i
+  double act_fraction = 0.5;  ///< otxn rounds ignore this (all ACT-like)
+  double amount = 10.0;
+
+  int num_kills = 1;  ///< actors killed once a third of the txns are in
+
+  // Probabilistic message faults (0 disables each). Droppable protocol
+  // messages only; see MessageFaultInjector.
+  double msg_drop_p = 0.05;
+  double msg_dup_p = 0.05;
+  double msg_delay_p = 0.1;
+  uint32_t msg_max_delay_ms = 2;
+  /// Scripted fault: drop the Nth droppable message (0 = off), optionally
+  /// every droppable message from the Nth on.
+  uint64_t drop_nth = 0;
+  bool drop_sticky = false;
+
+  // Liveness deadlines (Snapper rounds; 0 disables).
+  std::chrono::milliseconds batch_deadline{250};
+  std::chrono::milliseconds act_resolution_deadline{100};
+  std::chrono::milliseconds txn_deadline{0};
+
+  double watchdog_seconds = 20.0;
+  bool use_otxn = false;  ///< run the OrleansTxn baseline instead of Snapper
+};
+
+struct ActorChaosReport {
+  int committed = 0;   ///< acked OK
+  int aborted = 0;     ///< acked deterministic abort (incl. actor-failed)
+  int in_doubt = 0;    ///< acked abort that may have either durable outcome
+  int unresolved = 0;  ///< futures still pending at watchdog expiry
+
+  uint64_t actor_kills = 0;
+  uint64_t reactivations = 0;
+  uint64_t reactivation_us = 0;  ///< summed kill->serving-again latency
+  uint64_t watchdog_batch_aborts = 0;
+  uint64_t watchdog_act_aborts = 0;
+  uint64_t watchdog_act_resolutions = 0;
+  uint64_t txn_deadline_aborts = 0;
+  uint64_t msgs_total = 0;
+  uint64_t msgs_dropped = 0;
+  uint64_t msgs_duplicated = 0;
+  uint64_t msgs_delayed = 0;
+
+  double total_balance = 0;
+  double expected_total = 0;
+  std::string violation;  ///< empty iff all invariants held
+
+  bool ok() const { return violation.empty(); }
+  /// One-line JSON of the counters above (harness metrics output).
+  std::string ToJson() const;
+};
+
+/// Runs one actor-chaos round. Deterministic modulo scheduling for a fixed
+/// ActorChaosOptions (fault decisions are seeded; interleavings are not).
+ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options);
 
 }  // namespace snapper::harness

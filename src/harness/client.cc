@@ -72,10 +72,11 @@ struct PendingRetry {
 class CompletionChannel {
  public:
   void Push(Completion completion) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(std::move(completion));
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(completion));
+    // Notify under mu_: the client thread destroys this channel right after
+    // its last Pop returns, so the condvar must not be signaled after the
+    // lock is released.
     cv_.notify_one();
   }
 
@@ -135,7 +136,10 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
       std::priority_queue<PendingRetry, std::vector<PendingRetry>,
                           std::greater<PendingRetry>>
           retries;
-      Rng jitter(config.seed ^ (c + 1));
+      // Derive, don't XOR: adjacent client ids XORed into the same seed
+      // produce correlated low-bit streams, so clients would back off in
+      // lockstep and re-collide.
+      Rng jitter(Rng::Derive(config.seed, c + 1));
 
       auto submit_request = [&](TxnRequest request, int attempt) {
         const bool is_pact = request.mode == TxnMode::kPact;

@@ -1,6 +1,7 @@
 #include "harness/metrics.h"
 
 #include <cstdio>
+#include <sstream>
 
 namespace snapper::harness {
 
@@ -49,6 +50,20 @@ std::string BenchResult::Summary() const {
                 totals.latency.Quantile(0.9) / 1000.0,
                 totals.latency.Quantile(0.99) / 1000.0);
   return buf;
+}
+
+std::string FaultToleranceJson(const MessageCounters& counters) {
+  std::ostringstream os;
+  os << "{\"actor_kills\":" << counters.actor_kills.load()
+     << ",\"reactivations\":" << counters.reactivations.load()
+     << ",\"reactivation_us\":" << counters.reactivation_us.load()
+     << ",\"watchdog_batch_aborts\":" << counters.watchdog_batch_aborts.load()
+     << ",\"watchdog_act_aborts\":" << counters.watchdog_act_aborts.load()
+     << ",\"watchdog_act_resolutions\":"
+     << counters.watchdog_act_resolutions.load()
+     << ",\"txn_deadline_aborts\":" << counters.txn_deadline_aborts.load()
+     << "}";
+  return os.str();
 }
 
 }  // namespace snapper::harness

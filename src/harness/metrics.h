@@ -80,4 +80,11 @@ struct BenchResult {
   std::string Summary() const;
 };
 
+/// One-line JSON of a runtime's fault-tolerance counters: actor kills,
+/// reactivation count + summed kill-to-serving latency, watchdog-fired
+/// aborts/resolutions, and message-fault injection totals. Emitted alongside
+/// Summary() by benches and by the actor-chaos harness so chaos runs are
+/// machine-readable.
+std::string FaultToleranceJson(const MessageCounters& counters);
+
 }  // namespace snapper::harness

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "async/timer.h"
 #include "wal/log_format.h"
@@ -92,10 +94,86 @@ OtxnRuntime& OtxnActor::ortx() const {
   return *static_cast<OtxnRuntime*>(runtime().app_context());
 }
 
-void OtxnActor::OnActivate() { state_ = InitialState(); }
+void OtxnActor::OnActivate() {
+  state_ = InitialState();
+  if (runtime().app_context() == nullptr) return;  // bare-runtime tests
+  if (ortx().IsActorKilled(id())) {
+    recovering_ = true;
+    Reactivate().Start(strand());
+  }
+}
+
+void OtxnActor::OnKill() {
+  // Waiters parked on this zombie's lock would otherwise sit until their
+  // wait timeout; fail them immediately.
+  lock_.FailAllWaiters(Status::TxnAborted(
+      AbortReason::kActorFailed, "actor " + id().ToString() + " killed"));
+}
+
+Task<void> OtxnActor::Reactivate() {
+  auto& rt = ortx();
+  if (rt.log_manager().enabled()) {
+    // Logger FIFO barrier: appends to one logger complete in order, so once
+    // this record is durable every prepare append issued by the previous
+    // activation has drained. A kActCommit with id 0 and no state is
+    // ignored by recovery and by the scan below.
+    LogRecord barrier;
+    barrier.type = LogRecordType::kActCommit;
+    barrier.id = 0;
+    barrier.actor = id();
+    auto barrier_done = rt.log_manager().LoggerFor(id()).Append(barrier);
+    co_await barrier_done;
+
+    // Replay this actor's prepared snapshots in append order. All of them
+    // live in one WAL file (LoggerFor is a stable hash), so per-file order
+    // is write order.
+    std::vector<std::pair<uint64_t, Value>> prepared;
+    for (const auto& name : rt.env().ListFiles()) {
+      if (name.rfind("wal-", 0) != 0) continue;
+      std::string content;
+      if (!rt.env().ReadFile(name, &content).ok()) continue;
+      LogCursor cursor(content);
+      LogRecord record;
+      while (cursor.Next(&record).ok()) {
+        if (record.type != LogRecordType::kActPrepare) continue;
+        if (!(record.actor == id()) || record.state.empty()) continue;
+        std::string_view in = record.state;
+        Value snapshot;
+        if (!snapshot.DecodeFrom(&in)) continue;
+        prepared.emplace_back(record.id, std::move(snapshot));
+      }
+    }
+    // Early lock release makes prepare order == write order, so the last
+    // committed prepared snapshot is the durable state. The TA is the
+    // commit authority and survives actor kills; the fallback timeout is
+    // insurance only (roots decide in bounded time).
+    std::optional<Value> recovered;
+    for (auto& [tid, snapshot] : prepared) {
+      auto decided = rt.agent().WaitDecided(tid);
+      auto bounded = AwaitWithFallback<Status>(
+          runtime().timers(), decided, std::chrono::milliseconds(10000),
+          Status::TxnAborted(AbortReason::kActorFailed,
+                             "undecided at reactivation"));
+      const Status s = co_await bounded;
+      if (s.ok()) recovered = std::move(snapshot);
+    }
+    if (recovered.has_value()) state_ = std::move(*recovered);
+  }
+  recovering_ = false;
+  std::chrono::steady_clock::time_point killed_at;
+  if (rt.ClearKillMark(id(), &killed_at)) {
+    rt.counters().reactivations.fetch_add(1);
+    rt.counters().reactivation_us.fetch_add(MicrosBetween(killed_at, Now()));
+  }
+  co_return;
+}
 
 Task<Value*> OtxnActor::GetState(TxnContext& ctx, AccessMode mode) {
   auto& rt = ortx();
+  if (failed() || recovering_) {
+    throw TxnAbort(Status::TxnAborted(
+        AbortReason::kActorFailed, "actor " + id().ToString() + " unavailable"));
+  }
   if (IsTombstoned(ctx.tid)) {
     throw TxnAbort(Status::TxnAborted(AbortReason::kCascading,
                                       "transaction already aborted"));
@@ -151,6 +229,10 @@ Future<Value> OtxnActor::CallActorAsync(TxnContext& ctx, const ActorId& target,
 }
 
 Task<Value> OtxnActor::InvokeTxn(TxnContext ctx, FuncCall call) {
+  if (failed() || recovering_) {
+    throw TxnAbort(Status::TxnAborted(
+        AbortReason::kActorFailed, "actor " + id().ToString() + " unavailable"));
+  }
   auto method = methods_.find(call.method);
   if (method == methods_.end()) {
     throw TxnAbort(Status::InvalidArgument("unknown method: " + call.method));
@@ -180,6 +262,13 @@ Task<Value> OtxnActor::InvokeTxn(TxnContext ctx, FuncCall call) {
 }
 
 Task<bool> OtxnActor::Prepare(uint64_t tid) {
+  if (failed() || recovering_ || IsTombstoned(tid)) co_return false;
+  if (txn_local_.find(tid) == txn_local_.end() && wrote_.count(tid) == 0 &&
+      !lock_.IsHeldBy(tid)) {
+    // Unknown tid: a fresh activation standing in for a killed one must not
+    // persist a snapshot that is missing the transaction's writes.
+    co_return false;
+  }
   // Early lock release: locks drop before the commit decision is durable.
   lock_.Release(tid);
   auto& rt = ortx();
@@ -280,6 +369,30 @@ OtxnRuntime::~OtxnRuntime() { Shutdown(); }
 
 void OtxnRuntime::Shutdown() { runtime_->Shutdown(); }
 
+void OtxnRuntime::KillActor(const ActorId& id) {
+  {
+    std::lock_guard<std::mutex> lock(kill_mu_);
+    kill_marks_[id] = std::chrono::steady_clock::now();
+  }
+  counters_.actor_kills.fetch_add(1);
+  runtime_->KillActor(id);
+}
+
+bool OtxnRuntime::IsActorKilled(const ActorId& id) const {
+  std::lock_guard<std::mutex> lock(kill_mu_);
+  return kill_marks_.count(id) > 0;
+}
+
+bool OtxnRuntime::ClearKillMark(
+    const ActorId& id, std::chrono::steady_clock::time_point* killed_at) {
+  std::lock_guard<std::mutex> lock(kill_mu_);
+  auto it = kill_marks_.find(id);
+  if (it == kill_marks_.end()) return false;
+  *killed_at = it->second;
+  kill_marks_.erase(it);
+  return true;
+}
+
 uint32_t OtxnRuntime::RegisterActorType(
     std::string name,
     std::function<std::shared_ptr<OtxnActor>(uint64_t)> factory) {
@@ -357,19 +470,25 @@ Task<TxnResult> OtxnRuntime::RunTxn(ActorId first, FuncCall call) {
   }
 
   if (failure.ok()) {
+    // Droppable fan-out: a vote that never arrives counts as a "no" after
+    // the lock-wait timeout, so the TA always decides in bounded time.
     std::vector<Future<bool>> votes;
     for (const auto& [actor, _] : info.participants) {
       counters_.act_prepares.fetch_add(1);
       votes.push_back(runtime_->Call<OtxnActor>(
-          actor, [tid = ctx.tid](OtxnActor& a) { return a.Prepare(tid); }));
+          actor, [tid = ctx.tid](OtxnActor& a) { return a.Prepare(tid); },
+          MsgGuard::kDroppable));
     }
     bool all_yes = true;
+    auto* counters = &counters_;
     for (auto& vote : votes) {
-      try {
-        all_yes = (co_await vote) && all_yes;
-      } catch (...) {
-        all_yes = false;
-      }
+      // Hoisted out of the co_await full-expression (GCC 12 miscompiles
+      // non-trivial temporaries held across a suspension).
+      auto bounded = AwaitWithFallback<bool>(
+          runtime_->timers(), vote, config_.lock_wait_timeout, false,
+          [counters]() { counters->watchdog_act_aborts.fetch_add(1); });
+      const bool yes = co_await bounded;
+      all_yes = yes && all_yes;
     }
     if (!all_yes) {
       failure = Status::TxnAborted(AbortReason::kCascading,
@@ -390,31 +509,40 @@ Task<TxnResult> OtxnRuntime::RunTxn(ActorId first, FuncCall call) {
 
   if (failure.ok()) {
     agent_.NotifyCommitted(ctx.tid);
+    // Droppable + bounded: a lost Commit leaves stale dirty-write residue
+    // on the participant, which the TA's decision table resolves on the
+    // next dependency wait or at reactivation.
     std::vector<Future<void>> acks;
     for (const auto& [actor, _] : info.participants) {
       counters_.act_commits.fetch_add(1);
       acks.push_back(runtime_->Call<OtxnActor>(
-          actor, [tid = ctx.tid](OtxnActor& a) { return a.Commit(tid); }));
+          actor, [tid = ctx.tid](OtxnActor& a) { return a.Commit(tid); },
+          MsgGuard::kDroppable));
     }
-    for (auto& ack : acks) co_await ack;
+    for (auto& ack : acks) {
+      auto bounded = AwaitWithFallback<void>(
+          runtime_->timers(), ack, config_.lock_wait_timeout, Unit{});
+      co_await bounded;
+    }
     out.timings.commit_us = MicrosBetween(t2, Now());
     out.value = std::move(result);
     co_return out;
   }
 
-  // Presumed abort + cascade cleanup.
+  // Presumed abort + cascade cleanup. Droppable + bounded like the commit
+  // acks: cleanup failures are non-fatal.
   agent_.NotifyAborted(ctx.tid);
   std::vector<Future<void>> acks;
   for (const auto& [actor, _] : info.participants) {
     counters_.act_aborts.fetch_add(1);
     acks.push_back(runtime_->Call<OtxnActor>(
-        actor, [tid = ctx.tid](OtxnActor& a) { return a.Abort(tid); }));
+        actor, [tid = ctx.tid](OtxnActor& a) { return a.Abort(tid); },
+        MsgGuard::kDroppable));
   }
   for (auto& ack : acks) {
-    try {
-      co_await ack;
-    } catch (...) {
-    }
+    auto bounded = AwaitWithFallback<void>(
+        runtime_->timers(), ack, config_.lock_wait_timeout, Unit{});
+    co_await bounded;
   }
   out.timings.commit_us = MicrosBetween(t2, Now());
   out.status = failure;

@@ -15,6 +15,7 @@
 // unchanged on OtxnActor (same method registry, GetState, CallActor).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -90,6 +91,9 @@ class OtxnActor : public ActorBase {
 
   void OnActivate() override;
 
+  /// Fail-stop kill: fails every lock waiter parked on this zombie.
+  void OnKill() override;
+
   const Value& state_for_test() const { return state_; }
 
  protected:
@@ -102,7 +106,17 @@ class OtxnActor : public ActorBase {
   friend class OtxnRuntime;
   OtxnRuntime& ortx() const;
 
+  /// Rebuilds durable state after a fail-stop kill: drains the logger FIFO
+  /// (so in-flight prepare appends from the previous activation are on
+  /// disk), replays this actor's prepared snapshots in append order, keeps
+  /// the last one the TA decided committed (early lock release makes
+  /// prepare order == write order), then starts serving.
+  Task<void> Reactivate();
+
   Value state_;
+  /// Fresh activation after a kill, durable state not reinstalled yet:
+  /// reject all work (serving InitialState would fork history).
+  bool recovering_ = false;
   // No wait-die: conflicting requests queue; timeouts break deadlocks.
   ActorLock lock_{/*wait_die=*/false};
   std::map<std::string, Method> methods_;
@@ -161,6 +175,15 @@ class OtxnRuntime {
   LogManager& log_manager() { return *log_manager_; }
   const OtxnConfig& config() const { return config_; }
   MessageCounters& counters() { return counters_; }
+  Env& env() { return *env_; }
+
+  /// Fail-stop kill. The TA (in-memory) survives and remains the commit
+  /// authority; the next dispatch activates a fresh instance that rebuilds
+  /// its state from the WAL + TA decisions (OtxnActor::Reactivate).
+  void KillActor(const ActorId& id);
+  bool IsActorKilled(const ActorId& id) const;
+  bool ClearKillMark(const ActorId& id,
+                     std::chrono::steady_clock::time_point* killed_at);
 
   void Shutdown();
 
@@ -176,6 +199,8 @@ class OtxnRuntime {
   TransactionAgent agent_;
   MessageCounters counters_;
   std::shared_ptr<Strand> ta_strand_;
+  mutable std::mutex kill_mu_;
+  std::map<ActorId, std::chrono::steady_clock::time_point> kill_marks_;
 };
 
 }  // namespace snapper::otxn

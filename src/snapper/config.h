@@ -47,6 +47,25 @@ struct SnapperConfig {
   /// Randomized message-delay injection for determinism tests (0 = off).
   uint32_t max_inject_delay_ms = 0;
 
+  /// Liveness watchdog for the PACT batch protocol (0 = off). A batch not
+  /// commit-eligible this long after emission — participant died, a
+  /// BatchComplete or its ack was lost — is deterministically aborted by its
+  /// coordinator with a durable BatchAbort record, instead of wedging the
+  /// bid-ordered commit chain forever.
+  std::chrono::milliseconds batch_deadline{0};
+
+  /// Liveness watchdog for prepared ACT participants (0 = off). A
+  /// participant whose 2PC outcome message never arrives re-resolves the
+  /// decision from the runtime's decision table after this long (presumed
+  /// abort if the coordinator never logged a commit).
+  std::chrono::milliseconds act_resolution_deadline{0};
+
+  /// Client-side transaction deadline (0 = off): Submit futures resolve
+  /// with a kSystemFailure abort after this long even if the transaction
+  /// machinery lost track of them entirely. Last-resort no-hang backstop
+  /// for fault-injection runs; the abort is in-doubt by construction.
+  std::chrono::milliseconds txn_deadline{0};
+
   uint64_t seed = 42;
 };
 

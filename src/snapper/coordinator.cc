@@ -9,15 +9,22 @@ namespace snapper {
 
 void CoordinatorActor::EmitBatchMsgTo(const ActorId& actor,
                                       const BatchMsg& msg) {
-  runtime().Call<TransactionalActor>(actor, [msg](TransactionalActor& a) {
-    return a.ReceiveBatch(msg);
-  });
+  // Droppable: a lost (or duplicated) sub-batch is caught by the batch
+  // deadline watchdog / the receiver's duplicate guard.
+  runtime().Call<TransactionalActor>(
+      actor,
+      [msg](TransactionalActor& a) { return a.ReceiveBatch(msg); },
+      MsgGuard::kDroppable);
 }
 
 void CoordinatorActor::EmitBatchCommitTo(const ActorId& actor, uint64_t bid) {
-  runtime().Call<TransactionalActor>(actor, [bid](TransactionalActor& a) {
-    return a.ReceiveBatchCommit(bid);
-  });
+  // Droppable: ReceiveBatchCommit is idempotent, and an actor that never
+  // hears it self-heals during the next abort round (sequencer-committed
+  // batches are promoted there).
+  runtime().Call<TransactionalActor>(
+      actor,
+      [bid](TransactionalActor& a) { return a.ReceiveBatchCommit(bid); },
+      MsgGuard::kDroppable);
 }
 
 Task<TxnContext> CoordinatorActor::NewPact(ActorId root, ActorAccessInfo info) {
@@ -237,14 +244,83 @@ Task<void> CoordinatorActor::LogAndEmitBatch(uint64_t bid) {
   }
   batch.ctx_promises.clear();
   batch.ctxs.clear();
+  ArmBatchDeadline(bid);
   co_return;
+}
+
+void CoordinatorActor::ArmBatchDeadline(uint64_t bid) {
+  const auto deadline = sctx().config.batch_deadline;
+  if (deadline.count() <= 0) return;
+  auto self = std::static_pointer_cast<CoordinatorActor>(shared_from_this());
+  runtime().timers().Schedule(deadline, [self, bid]() {
+    self->strand().Post([self, bid]() {
+      auto it = self->batches_.find(bid);
+      if (it == self->batches_.end() || it->second.commit_requested) return;
+      // Still waiting on BatchComplete acks past the deadline: a
+      // participant died or a protocol message was lost. Abort rather than
+      // wedge the bid-ordered commit chain.
+      self->sctx().counters.watchdog_batch_aborts.fetch_add(1);
+      self->AbortStuckBatch(
+          bid, Status::TxnAborted(AbortReason::kSystemFailure,
+                                  "batch deadline exceeded"));
+    });
+  });
+}
+
+Task<void> CoordinatorActor::OnActorFailed(ActorId actor) {
+  std::vector<uint64_t> stuck;
+  for (const auto& [bid, batch] : batches_) {
+    if (batch.commit_requested) continue;
+    for (const ActorId& p : batch.participants) {
+      if (p == actor) {
+        stuck.push_back(bid);
+        break;
+      }
+    }
+  }
+  for (uint64_t bid : stuck) {
+    AbortStuckBatch(bid,
+                    Status::TxnAborted(AbortReason::kActorFailed,
+                                       "participant " + actor.ToString() +
+                                           " failed"));
+  }
+  co_return;
+}
+
+void CoordinatorActor::AbortStuckBatch(uint64_t bid, const Status& cause) {
+  auto it = batches_.find(bid);
+  if (it == batches_.end() || it->second.commit_requested) return;
+  auto& ctx = sctx();
+
+  if (ctx.log_manager->enabled()) {
+    // Durable abort decision: without it, recovery's all-completes rule
+    // could commit this batch (every participant's BatchComplete may well
+    // be on disk — the *ack* is what got lost). Fire-and-forget: the
+    // in-memory abort below decides regardless, and a crash racing this
+    // append leaves the batch in-doubt like any other crash race.
+    LogRecord record;
+    record.type = LogRecordType::kBatchAbort;
+    record.id = bid;
+    ctx.log_manager->LoggerForCoordinator(index_).Append(std::move(record));
+  }
+
+  // Clients whose contexts are still pending (the BatchInfo write is still
+  // in flight) would otherwise never resolve.
+  for (auto& p : it->second.ctx_promises) {
+    p.SetException(std::make_exception_ptr(TxnAbort(cause)));
+  }
+  batches_.erase(it);
+  ctx.abort_controller->RequestAbort(bid, cause);  // fire-and-forget round
 }
 
 Task<void> CoordinatorActor::AckBatchComplete(uint64_t bid, ActorId from) {
   auto it = batches_.find(bid);
   if (it == batches_.end()) co_return;  // aborted or unknown: ignore
   it->second.pending_acks.erase(from);
-  if (!it->second.pending_acks.empty()) co_return;
+  if (!it->second.pending_acks.empty() || it->second.commit_requested) {
+    co_return;  // still waiting, or a duplicated final ack
+  }
+  it->second.commit_requested = true;
 
   // All participants voted complete: commit in bid order (§4.2.4). The
   // callback may fire on any thread; hop back onto this coordinator's

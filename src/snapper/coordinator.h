@@ -62,6 +62,11 @@ class CoordinatorActor : public ActorBase {
   /// BatchComplete ack from a participant (the "vote" of §4.2.4).
   Task<void> AckBatchComplete(uint64_t bid, ActorId from);
 
+  /// Fail-stop notification: deterministically aborts every in-flight batch
+  /// that names `actor` as a participant (durable BatchAbort; the global
+  /// schedule never hangs on a dead actor).
+  Task<void> OnActorFailed(ActorId actor);
+
   uint64_t num_batches_formed() const { return num_batches_formed_; }
   uint64_t num_pacts_assigned() const { return num_pacts_assigned_; }
   uint64_t num_acts_assigned() const { return num_acts_assigned_; }
@@ -90,6 +95,10 @@ class CoordinatorActor : public ActorBase {
     std::map<ActorId, BatchMsg> sub_batches;
     std::vector<Promise<TxnContext>> ctx_promises;
     std::vector<TxnContext> ctxs;
+    /// Set once all acks arrived and the sequencer was asked to commit;
+    /// from then on the batch is off-limits to the abort watchdog (a
+    /// BatchAbort record must never follow a possible BatchCommit).
+    bool commit_requested = false;
   };
 
   SnapperContext& sctx() const {
@@ -104,6 +113,14 @@ class CoordinatorActor : public ActorBase {
 
   /// Commit path once the sequencer releases this batch in bid order.
   Task<void> CommitBatch(uint64_t bid);
+
+  /// Deterministic abort of a batch that cannot commit (dead participant,
+  /// liveness deadline): logs BatchAbort, resolves still-pending contexts,
+  /// and triggers the global abort round. No-op once commit was requested.
+  void AbortStuckBatch(uint64_t bid, const Status& cause);
+
+  /// Arms the per-batch liveness watchdog (config.batch_deadline).
+  void ArmBatchDeadline(uint64_t bid);
 
   void ServeActRequests(uint64_t epoch);
   void PassToken(Token token, bool formed_batch);

@@ -40,6 +40,7 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
 
   // Pass 1: commit decisions.
   std::set<uint64_t> batch_commit_logged;
+  std::set<uint64_t> batch_abort_logged;
   std::map<uint64_t, std::set<ActorId>> batch_participants;
   std::map<uint64_t, uint64_t> batch_prev;
   std::map<uint64_t, std::set<ActorId>> batch_completes;
@@ -50,6 +51,9 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
       switch (r.type) {
         case LogRecordType::kBatchCommit:
           batch_commit_logged.insert(r.id);
+          break;
+        case LogRecordType::kBatchAbort:
+          batch_abort_logged.insert(r.id);
           break;
         case LogRecordType::kBatchInfo:
           batch_participants[r.id].insert(r.participants.begin(),
@@ -75,9 +79,15 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
   // effects of its predecessors — committing a successor whose predecessor
   // aborted would resurrect those effects partially. bids grow along the
   // chain, so one ascending sweep settles chains of any length.
+  // A BatchAbort record (liveness watchdog / dead participant) excludes the
+  // batch from the all-completes inference: its completes may all be on
+  // disk even though it never committed — only the *ack* was lost. An
+  // explicit BatchCommit still wins; the coordinator guarantees the two are
+  // never written for the same bid.
   std::set<uint64_t> batch_committed = batch_commit_logged;
   for (const auto& [bid, participants] : batch_participants) {
     if (batch_committed.count(bid) > 0) continue;
+    if (batch_abort_logged.count(bid) > 0) continue;
     const auto completes = batch_completes.find(bid);
     if (completes == batch_completes.end()) continue;
     bool all = !participants.empty();

@@ -6,11 +6,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/value.h"
@@ -47,9 +51,16 @@ class GlobalAbortController {
   /// covering `bid` has completed and emission resumed.
   Future<Unit> RequestAbort(uint64_t bid, const Status& cause);
 
+  /// Unconditional round (actor kill): like RequestAbort, but without the
+  /// "bid already decided" fast path — something outside any one batch went
+  /// wrong, so every uncommitted transaction must be rolled back. Resolves
+  /// when a round started at or after this call completes.
+  Future<Unit> RequestAbortAll(const Status& cause);
+
   uint64_t num_rounds() const { return rounds_.load(); }
 
  private:
+  Future<Unit> StartOrJoinRound(const uint64_t* bid, const Status& cause);
   Task<void> RoundTask(Status cause);
   void FinishRound();
 
@@ -86,12 +97,12 @@ struct SnapperContext {
 
   void RegisterTransactionalActor(const ActorId& id) {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    transactional_actors_.push_back(id);
+    transactional_actors_.insert(id);  // reactivations re-register: dedup
   }
 
   std::vector<ActorId> TransactionalActors() {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    return transactional_actors_;
+    return {transactional_actors_.begin(), transactional_actors_.end()};
   }
 
   /// Recovered per-actor states staged by RecoveryManager before Start();
@@ -110,10 +121,88 @@ struct SnapperContext {
     return v;
   }
 
+  // --- Kill marks (fail-stop kills awaiting reactivation) ---------------
+  // A marked actor's fresh activation serves nothing (recovering_) until
+  // SnapperRuntime reinstalls its durable state; the generation lets a
+  // second kill supersede a reactivation still in flight.
+
+  uint64_t MarkActorKilled(const ActorId& id) {
+    std::lock_guard<std::mutex> lock(kill_mu_);
+    auto& mark = kill_marks_[id];
+    mark.generation = ++kill_generation_;
+    mark.killed_at = std::chrono::steady_clock::now();
+    return mark.generation;
+  }
+
+  bool IsActorKilled(const ActorId& id) const {
+    std::lock_guard<std::mutex> lock(kill_mu_);
+    return kill_marks_.count(id) > 0;
+  }
+
+  /// Clears the mark iff it still carries `generation`; reports the kill
+  /// time (for the reactivation-latency counter) on success.
+  bool ClearKillMark(const ActorId& id, uint64_t generation,
+                     std::chrono::steady_clock::time_point* killed_at) {
+    std::lock_guard<std::mutex> lock(kill_mu_);
+    auto it = kill_marks_.find(id);
+    if (it == kill_marks_.end() || it->second.generation != generation) {
+      return false;
+    }
+    if (killed_at != nullptr) *killed_at = it->second.killed_at;
+    kill_marks_.erase(it);
+    return true;
+  }
+
+  // --- ACT decision table ------------------------------------------------
+  // 2PC outcomes recorded by the root (commit: right after the CoordCommit
+  // record is durable; abort: on entering the abort path). A prepared
+  // participant whose outcome message was lost re-resolves from here
+  // (presumed abort if the root never decided). Bounded FIFO, like the
+  // actor-side tombstones.
+
+  enum class ActDecision { kUnknown, kCommitted, kAborted };
+
+  void RecordActDecision(uint64_t tid, bool committed, uint64_t final_max_bs) {
+    std::lock_guard<std::mutex> lock(decision_mu_);
+    if (!act_decisions_.emplace(tid, std::make_pair(committed, final_max_bs))
+             .second) {
+      return;
+    }
+    act_decision_fifo_.push_back(tid);
+    if (act_decision_fifo_.size() > kMaxActDecisions) {
+      act_decisions_.erase(act_decision_fifo_.front());
+      act_decision_fifo_.pop_front();
+    }
+  }
+
+  /// Returns the decision plus, for commits, the final max(BS) the root
+  /// computed (participants need it to update their watermark).
+  std::pair<ActDecision, uint64_t> LookupActDecision(uint64_t tid) const {
+    std::lock_guard<std::mutex> lock(decision_mu_);
+    auto it = act_decisions_.find(tid);
+    if (it == act_decisions_.end()) return {ActDecision::kUnknown, 0};
+    return {it->second.first ? ActDecision::kCommitted : ActDecision::kAborted,
+            it->second.second};
+  }
+
  private:
+  struct KillMark {
+    uint64_t generation = 0;
+    std::chrono::steady_clock::time_point killed_at{};
+  };
+  static constexpr size_t kMaxActDecisions = 1 << 16;
+
   std::mutex registry_mu_;
-  std::vector<ActorId> transactional_actors_;
+  std::set<ActorId> transactional_actors_;
   std::map<ActorId, Value> recovered_states_;
+
+  mutable std::mutex kill_mu_;
+  std::map<ActorId, KillMark> kill_marks_;
+  uint64_t kill_generation_ = 0;
+
+  mutable std::mutex decision_mu_;
+  std::map<uint64_t, std::pair<bool, uint64_t>> act_decisions_;
+  std::deque<uint64_t> act_decision_fifo_;
 };
 
 }  // namespace snapper

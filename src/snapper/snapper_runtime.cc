@@ -1,6 +1,8 @@
 #include "snapper/snapper_runtime.h"
 
 #include <cassert>
+#include <optional>
+#include <utility>
 
 #include "snapper/coordinator.h"
 
@@ -12,13 +14,23 @@ namespace snapper {
 
 Future<Unit> GlobalAbortController::RequestAbort(uint64_t bid,
                                                  const Status& cause) {
+  return StartOrJoinRound(&bid, cause);
+}
+
+Future<Unit> GlobalAbortController::RequestAbortAll(const Status& cause) {
+  return StartOrJoinRound(nullptr, cause);
+}
+
+Future<Unit> GlobalAbortController::StartOrJoinRound(const uint64_t* bid,
+                                                     const Status& cause) {
   Promise<Unit> promise;
   auto future = promise.GetFuture();
   bool start_round = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) {
-      if (ctx_->sequencer.IsAborted(bid) || ctx_->sequencer.IsCommitted(bid)) {
+      if (bid != nullptr && (ctx_->sequencer.IsAborted(*bid) ||
+                             ctx_->sequencer.IsCommitted(*bid))) {
         promise.Set(Unit{});  // already decided by a previous round
         return future;
       }
@@ -176,17 +188,29 @@ bool SnapperRuntime::WalDegraded() const {
   return log_manager_->enabled() && log_manager_->health().degraded();
 }
 
+Future<TxnResult> SnapperRuntime::WithTxnDeadline(Future<TxnResult> f) {
+  const auto deadline = context_.config.txn_deadline;
+  if (deadline.count() <= 0) return f;
+  TxnResult fallback;
+  fallback.status = Status::TxnAborted(AbortReason::kSystemFailure,
+                                       "txn deadline exceeded");
+  auto* counters = &context_.counters;
+  return AwaitWithFallback<TxnResult>(
+      runtime_->timers(), std::move(f), deadline, std::move(fallback),
+      [counters]() { counters->txn_deadline_aborts.fetch_add(1); });
+}
+
 Future<TxnResult> SnapperRuntime::SubmitPact(const ActorId& first,
                                              std::string method, Value input,
                                              ActorAccessInfo info) {
   assert(started_);
   if (WalDegraded()) return FailFastDegraded();
   FuncCall call{std::move(method), std::move(input)};
-  return runtime_->Call<TransactionalActor>(
+  return WithTxnDeadline(runtime_->Call<TransactionalActor>(
       first, [call = std::move(call),
               info = std::move(info)](TransactionalActor& a) mutable {
         return a.StartTxn(TxnMode::kPact, std::move(call), std::move(info));
-      });
+      }));
 }
 
 Future<TxnResult> SnapperRuntime::SubmitAct(const ActorId& first,
@@ -194,10 +218,10 @@ Future<TxnResult> SnapperRuntime::SubmitAct(const ActorId& first,
   assert(started_);
   if (WalDegraded()) return FailFastDegraded();
   FuncCall call{std::move(method), std::move(input)};
-  return runtime_->Call<TransactionalActor>(
+  return WithTxnDeadline(runtime_->Call<TransactionalActor>(
       first, [call = std::move(call)](TransactionalActor& a) mutable {
         return a.StartTxn(TxnMode::kAct, std::move(call), {});
-      });
+      }));
 }
 
 Future<TxnResult> SnapperRuntime::SubmitNt(const ActorId& first,
@@ -207,6 +231,58 @@ Future<TxnResult> SnapperRuntime::SubmitNt(const ActorId& first,
       first, [call = std::move(call)](TransactionalActor& a) mutable {
         return a.StartTxn(TxnMode::kNt, std::move(call), {});
       });
+}
+
+Future<Unit> SnapperRuntime::KillActor(const ActorId& id) {
+  assert(started_);
+  const uint64_t generation = context_.MarkActorKilled(id);
+  context_.counters.actor_kills.fetch_add(1);
+  runtime_->KillActor(id);
+  // Coordinators abort in-flight batches naming the dead participant, with
+  // a durable BatchAbort record, so the bid-ordered commit chain never
+  // waits on it.
+  for (size_t i = 0; i < context_.config.num_coordinators; ++i) {
+    runtime_->Call<CoordinatorActor>(
+        context_.CoordinatorId(i),
+        [id](CoordinatorActor& c) { return c.OnActorFailed(id); });
+  }
+  // A global abort round gives every in-flight transaction that touched the
+  // dead activation a stable, durable verdict (committing batches finish
+  // committing, everything else rolls back). Only after that is the WAL a
+  // consistent source for the actor's last committed state.
+  auto round = context_.abort_controller->RequestAbortAll(Status::TxnAborted(
+      AbortReason::kActorFailed, "actor " + id.ToString() + " killed"));
+  auto done = std::make_shared<Promise<Unit>>();
+  auto future = done->GetFuture();
+  round.OnReady([this, id, generation, done]() {
+    ReactivateFromWal(id, generation, done);
+  });
+  return future;
+}
+
+void SnapperRuntime::ReactivateFromWal(const ActorId& id, uint64_t generation,
+                                       std::shared_ptr<Promise<Unit>> done) {
+  // Rescan the WAL for the actor's last committed state. Safe concurrently
+  // with live logging: reads observe only durable (record-aligned) content,
+  // and this actor's own records cannot change — its fresh activation
+  // rejects all work until FinishReactivation installs the state.
+  std::optional<Value> state;
+  auto result = RecoveryManager::Run(env_);
+  if (result.ok()) {
+    auto it = result.value().actor_states.find(id);
+    if (it != result.value().actor_states.end()) {
+      state = std::move(it->second);
+    }
+  }
+  // A failed scan (possible only under injected storage faults) falls
+  // through with no state: the actor restarts from InitialState, the same
+  // trade whole-process recovery makes on an unreadable log.
+  auto install = runtime_->Call<TransactionalActor>(
+      id,
+      [state = std::move(state), generation](TransactionalActor& a) mutable {
+        return a.FinishReactivation(std::move(state), generation);
+      });
+  install.OnReady([done]() { done->TrySet(Unit{}); });
 }
 
 void SnapperRuntime::Shutdown() { runtime_->Shutdown(); }

@@ -83,6 +83,19 @@ class SnapperRuntime {
     return SubmitNt(first, method, std::move(input)).Get();
   }
 
+  /// Fail-stop kills one transactional actor and transparently reactivates
+  /// it (paper §2: virtual actors re-activate on demand after failure):
+  ///   1. mark the actor killed (its fresh activation serves nothing yet),
+  ///   2. evict the activation (ActorRuntime::KillActor),
+  ///   3. tell every coordinator to abort in-flight batches with the dead
+  ///      participant (durable BatchAbort),
+  ///   4. run a global abort round, after which every transaction that
+  ///      touched the dead activation has a stable durable verdict,
+  ///   5. re-read the actor's last committed state from the WAL and install
+  ///      it into the fresh activation.
+  /// The future resolves when the fresh activation is serving again.
+  Future<Unit> KillActor(const ActorId& id);
+
   /// Simulates a silo crash: all in-memory actor state vanishes (the WAL
   /// survives in `env`). Quiesce first; then Recover() + fresh activations
   /// resume from committed state.
@@ -99,6 +112,12 @@ class SnapperRuntime {
  private:
   Future<TxnResult> FailFastDegraded();
   bool WalDegraded() const;
+  /// Applies config.txn_deadline (if set) to a submission future.
+  Future<TxnResult> WithTxnDeadline(Future<TxnResult> f);
+  /// Step 5 of KillActor: runs after the abort round; rescans the WAL and
+  /// installs the actor's recovered state into the fresh activation.
+  void ReactivateFromWal(const ActorId& id, uint64_t generation,
+                         std::shared_ptr<Promise<Unit>> done);
 
   std::unique_ptr<Env> owned_env_;
   Env* env_;

@@ -39,6 +39,40 @@ void TransactionalActor::OnActivate() {
     committed_state_ = std::move(*recovered);
   }
   sctx().RegisterTransactionalActor(id());
+  if (sctx().IsActorKilled(id())) {
+    // Fresh activation standing in for a killed one: serve nothing until the
+    // runtime reinstalls the durable state (FinishReactivation) — serving
+    // InitialState here would fork history.
+    recovering_ = true;
+  }
+}
+
+void TransactionalActor::OnKill() {
+  if (runtime().app_context() == nullptr) return;  // bare-runtime tests
+  const Status status = Status::TxnAborted(
+      AbortReason::kActorFailed, "actor " + id().ToString() + " killed");
+  // This zombie activation will never take another turn of useful work;
+  // everything parked on it must fail now so no caller blocks forever, and
+  // the global abort round's quiesce must not wait on it.
+  lock_.FailAllWaiters(status);
+  schedule_.AbortUncommitted(status, [](uint64_t) { return false; });
+  NotifyQuiesce();
+}
+
+Task<void> TransactionalActor::FinishReactivation(std::optional<Value> state,
+                                                  uint64_t generation) {
+  std::chrono::steady_clock::time_point killed_at;
+  if (!sctx().ClearKillMark(id(), generation, &killed_at)) {
+    co_return;  // a newer kill superseded this reactivation
+  }
+  if (state.has_value()) {
+    state_ = *state;
+    committed_state_ = std::move(*state);
+  }
+  recovering_ = false;
+  sctx().counters.reactivations.fetch_add(1);
+  sctx().counters.reactivation_us.fetch_add(MicrosBetween(killed_at, Now()));
+  co_return;
 }
 
 void TransactionalActor::LoadRecoveredState(Value state) {
@@ -63,6 +97,12 @@ Status TransactionalActor::StatusFromException(std::exception_ptr e) {
 // ---------------------------------------------------------------------------
 
 Task<Value*> TransactionalActor::GetState(TxnContext& ctx, AccessMode mode) {
+  if (failed() || recovering_) {
+    // A zombie activation (or one whose durable state is not reinstalled
+    // yet) must never hand out a state pointer.
+    throw TxnAbort(Status::TxnAborted(
+        AbortReason::kActorFailed, "actor " + id().ToString() + " unavailable"));
+  }
   switch (ctx.mode) {
     case TxnMode::kPact:
       // Gating already happened at invocation entry (§4.2.3); record writer
@@ -144,6 +184,17 @@ Future<Value> TransactionalActor::CallActorAsync(TxnContext& ctx,
 // ---------------------------------------------------------------------------
 
 Task<Value> TransactionalActor::InvokeTxn(TxnContext ctx, FuncCall call) {
+  if (failed() || recovering_) {
+    const Status st = Status::TxnAborted(
+        AbortReason::kActorFailed, "actor " + id().ToString() + " unavailable");
+    if (ctx.mode == TxnMode::kPact && ctx.bid != kNoBid) {
+      // A PACT invocation landing on a dead/recovering activation can never
+      // complete its access; abort the batch deterministically instead of
+      // silently dropping it (the global schedule must not hang on us).
+      sctx().abort_controller->RequestAbort(ctx.bid, st);
+    }
+    throw TxnAbort(st);
+  }
   if (ctx.mode != TxnMode::kNt) {
     if (aborting_ ||
         ctx.epoch < sctx().abort_controller->epoch()) {
@@ -334,17 +385,10 @@ Task<TxnResult> TransactionalActor::StartPact(FuncCall call,
 }
 
 Future<Status> TransactionalActor::WaitBatchOutcome(uint64_t bid) {
-  Promise<Status> promise;
-  auto future = promise.GetFuture();
-  auto& sequencer = sctx().sequencer;
-  if (sequencer.IsAborted(bid)) {
-    promise.Set(Status::TxnAborted(AbortReason::kCascading, "batch aborted"));
-  } else if (sequencer.IsCommitted(bid)) {
-    promise.Set(Status::OK());
-  } else {
-    batch_outcome_waiters_[bid].push_back(std::move(promise));
-  }
-  return future;
+  // The sequencer resolves its waiters at commit and at BeginAbort — the
+  // latter covers batches the coordinator abandoned (dead participant,
+  // liveness deadline), which this actor never hears about directly.
+  return sctx().sequencer.WaitCommitted(bid);
 }
 
 Task<TxnResult> TransactionalActor::StartAct(FuncCall call) {
@@ -462,22 +506,28 @@ Task<Status> TransactionalActor::CommitActAsRoot(uint64_t tid, uint64_t epoch,
   }
 
   // Prepare phase. The root is its own participant (no messages, §5.2.3).
+  // Fan-out messages are droppable: a vote that never arrives counts as a
+  // "no" after act_wait_timeout, so the root always decides in bounded time.
   std::vector<Future<bool>> votes;
   for (const auto& [actor, _] : info.participants) {
     if (actor == id()) continue;
     ctx.counters.act_prepares.fetch_add(1);
     votes.push_back(runtime().Call<TransactionalActor>(
-        actor, [tid, epoch](TransactionalActor& a) {
+        actor,
+        [tid, epoch](TransactionalActor& a) {
           return a.ActPrepare(tid, epoch);
-        }));
+        },
+        MsgGuard::kDroppable));
   }
   bool all_yes = co_await PrepareActLocal(tid);
+  auto* counters = &ctx.counters;
   for (auto& vote : votes) {
-    try {
-      all_yes = (co_await vote) && all_yes;
-    } catch (...) {
-      all_yes = false;
-    }
+    // Hoisted out of the co_await full-expression (GCC 12, see StartPact).
+    auto bounded = AwaitWithFallback<bool>(
+        runtime().timers(), vote, ctx.config.act_wait_timeout, false,
+        [counters]() { counters->watchdog_act_aborts.fetch_add(1); });
+    const bool yes = co_await bounded;
+    all_yes = yes && all_yes;
   }
   if (!all_yes) {
     co_return Status::TxnAborted(AbortReason::kCascading,
@@ -494,16 +544,24 @@ Task<Status> TransactionalActor::CommitActAsRoot(uint64_t tid, uint64_t epoch,
                                                "CoordCommit log failed");
   }
 
+  // The decision is durable; record it so a participant whose ActCommit
+  // message is lost can re-resolve its prepared state from here (the
+  // prepared-ACT watchdog).
+  ctx.RecordActDecision(tid, /*committed=*/true, max_bs);
+
   // Commit phase: apply locally, then notify participants. max(BS) rides
-  // along for their BeforeSet watermarks (§4.4.3).
+  // along for their BeforeSet watermarks (§4.4.3). Droppable: a lost commit
+  // notification is recovered by the participant's watchdog.
   CommitActLocal(tid, max_bs);
   for (const auto& [actor, _] : info.participants) {
     if (actor == id()) continue;
     ctx.counters.act_commits.fetch_add(1);
     runtime().Call<TransactionalActor>(
-        actor, [tid, max_bs](TransactionalActor& a) {
+        actor,
+        [tid, max_bs](TransactionalActor& a) {
           return a.ActCommit(tid, max_bs);
-        });
+        },
+        MsgGuard::kDroppable);
   }
   co_return Status::OK();
 }
@@ -511,22 +569,26 @@ Task<Status> TransactionalActor::CommitActAsRoot(uint64_t tid, uint64_t epoch,
 Task<void> TransactionalActor::AbortActAsRoot(uint64_t tid,
                                               const TxnExeInfo& info) {
   auto& ctx = sctx();
+  // Record the abort before fanning out: a participant whose ActAbort
+  // message is lost re-resolves from this table (presumed abort anyway).
+  ctx.RecordActDecision(tid, /*committed=*/false, kNoBid);
   std::vector<Future<void>> acks;
   for (const auto& [actor, _] : info.participants) {
     if (actor == id()) continue;
     ctx.counters.act_aborts.fetch_add(1);
     acks.push_back(runtime().Call<TransactionalActor>(
-        actor, [tid](TransactionalActor& a) { return a.ActAbort(tid); }));
+        actor, [tid](TransactionalActor& a) { return a.ActAbort(tid); },
+        MsgGuard::kDroppable));
   }
   AbortActLocal(tid);
   // Presumed abort (§4.3.3): no abort logging; just await the cleanups so
-  // locks are free before the client retries.
+  // locks are free before the client retries. Bounded: a dropped ack must
+  // not park the root forever (cleanup failures are non-fatal here).
   for (auto& ack : acks) {
-    try {
-      co_await ack;
-    } catch (...) {
-      // Participant cleanup failures are non-fatal here.
-    }
+    // Hoisted out of the co_await full-expression (GCC 12, see StartPact).
+    auto bounded = AwaitWithFallback<void>(
+        runtime().timers(), ack, ctx.config.act_wait_timeout, Unit{});
+    co_await bounded;
   }
   co_return;
 }
@@ -540,7 +602,7 @@ Task<bool> TransactionalActor::ActPrepare(uint64_t tid, uint64_t epoch) {
 }
 
 Task<bool> TransactionalActor::PrepareActLocal(uint64_t tid) {
-  if (aborting_) co_return false;
+  if (aborting_ || failed() || recovering_) co_return false;
   auto local = act_local_.find(tid);
   if (local == act_local_.end() && !lock_.IsHeldBy(tid)) {
     // This actor no longer knows the transaction (cleared by a global
@@ -563,10 +625,55 @@ Task<bool> TransactionalActor::PrepareActLocal(uint64_t tid) {
       co_return false;
     }
   }
+  // Prepared and durable: if the 2PC outcome message never arrives, the
+  // watchdog re-resolves from the runtime's decision table.
+  ArmPreparedActWatchdog(tid, 0);
   co_return true;
 }
 
+void TransactionalActor::ArmPreparedActWatchdog(uint64_t tid, int attempt) {
+  const auto deadline = sctx().config.act_resolution_deadline;
+  if (deadline.count() <= 0) return;
+  auto self = std::static_pointer_cast<TransactionalActor>(shared_from_this());
+  runtime().timers().Schedule(deadline, [self, tid, attempt]() {
+    self->strand().Post(
+        [self, tid, attempt]() { self->ResolveStuckPreparedAct(tid, attempt); });
+  });
+}
+
+void TransactionalActor::ResolveStuckPreparedAct(uint64_t tid, int attempt) {
+  if (failed()) return;                         // zombie: nothing to resolve
+  if (prepared_acts_.count(tid) == 0) return;   // outcome arrived meanwhile
+  const auto [decision, final_max_bs] = sctx().LookupActDecision(tid);
+  switch (decision) {
+    case SnapperContext::ActDecision::kCommitted:
+      sctx().counters.watchdog_act_resolutions.fetch_add(1);
+      CommitActLocal(tid, final_max_bs);
+      return;
+    case SnapperContext::ActDecision::kAborted:
+      sctx().counters.watchdog_act_resolutions.fetch_add(1);
+      AbortActLocal(tid);
+      return;
+    case SnapperContext::ActDecision::kUnknown:
+      if (attempt + 1 < kMaxPreparedActChecks) {
+        ArmPreparedActWatchdog(tid, attempt + 1);
+        return;
+      }
+      // The root never decided (e.g. it was killed mid-2PC): presumed
+      // abort (§4.3.3) — an undecided transaction is an aborted one.
+      sctx().counters.watchdog_act_resolutions.fetch_add(1);
+      AbortActLocal(tid);
+      return;
+  }
+}
+
 Task<void> TransactionalActor::ActCommit(uint64_t tid, uint64_t final_max_bs) {
+  if (act_local_.find(tid) == act_local_.end() &&
+      prepared_acts_.count(tid) == 0) {
+    // Duplicate delivery (message fault injection) or a commit addressed to
+    // a previous activation: must not promote unrelated state.
+    co_return;
+  }
   CommitActLocal(tid, final_max_bs);
   co_return;
 }
@@ -644,11 +751,25 @@ void TransactionalActor::DoAbortActLocal(uint64_t tid) {
 // ---------------------------------------------------------------------------
 
 Task<void> TransactionalActor::ReceiveBatch(BatchMsg msg) {
-  // Drop dead batches: marked aborted, or formed just before an abort round
-  // started (stale epoch) — those never complete and must not enter the
-  // fresh schedule chain.
+  if (failed() || recovering_) {
+    // The sub-batch can never complete here. Request a deterministic abort
+    // of the batch instead of dropping the message: dropping would leave
+    // the coordinator waiting for an ack that never comes (a hang when the
+    // batch deadline is disabled).
+    sctx().abort_controller->RequestAbort(
+        msg.bid,
+        Status::TxnAborted(AbortReason::kActorFailed,
+                           "sub-batch sent to failed actor " +
+                               id().ToString()));
+    co_return;
+  }
+  // Drop dead batches: marked aborted or committed already, formed just
+  // before an abort round started (stale epoch), or duplicated by message
+  // fault injection (AddBatch is not idempotent).
   if (sctx().sequencer.IsAborted(msg.bid) ||
-      msg.epoch < sctx().abort_controller->epoch()) {
+      sctx().sequencer.IsCommitted(msg.bid) ||
+      msg.epoch < sctx().abort_controller->epoch() ||
+      batch_owner_.count(msg.bid) > 0) {
     co_return;
   }
   batch_owner_[msg.bid] = msg.coordinator;
@@ -667,6 +788,7 @@ void TransactionalActor::OnSubBatchComplete(uint64_t bid) {
 }
 
 Task<void> TransactionalActor::LogAndAckSubBatch(uint64_t bid, bool wrote) {
+  if (failed()) co_return;  // a zombie must not ack completions
   auto& ctx = sctx();
   if (ctx.log_manager->enabled()) {
     LogRecord record;
@@ -688,14 +810,18 @@ Task<void> TransactionalActor::LogAndAckSubBatch(uint64_t bid, bool wrote) {
       co_return;
     }
   }
+  if (failed()) co_return;  // killed while the append was in flight
   auto owner = batch_owner_.find(bid);
   if (owner == batch_owner_.end()) co_return;  // aborted meanwhile
   ctx.counters.batch_completes.fetch_add(1);
+  // Droppable: a lost ack is recovered by the coordinator's batch deadline
+  // (deterministic BatchAbort), never by blocking the chain.
   runtime().Call<CoordinatorActor>(
       ctx.CoordinatorId(owner->second),
       [bid, self = id()](CoordinatorActor& c) {
         return c.AckBatchComplete(bid, self);
-      });
+      },
+      MsgGuard::kDroppable);
   co_return;
 }
 
@@ -710,12 +836,6 @@ Task<void> TransactionalActor::ReceiveBatchCommit(uint64_t bid) {
   }
   schedule_.MarkBatchCommitted(bid);
   batch_owner_.erase(bid);
-
-  auto waiters = batch_outcome_waiters_.find(bid);
-  if (waiters != batch_outcome_waiters_.end()) {
-    for (auto& p : waiters->second) p.TrySet(Status::OK());
-    batch_outcome_waiters_.erase(waiters);
-  }
   co_return;
 }
 
@@ -724,6 +844,9 @@ Task<void> TransactionalActor::ReceiveBatchCommit(uint64_t bid) {
 // ---------------------------------------------------------------------------
 
 bool TransactionalActor::QuiescedForAbort() const {
+  // A killed activation is quiesced by definition: its in-flight work can
+  // never unwind (the frames were abandoned), and the round must not wait.
+  if (failed()) return true;
   return active_invocations_ == 0 && prepared_acts_.empty() && lock_.IsFree();
 }
 
@@ -743,17 +866,6 @@ Task<void> TransactionalActor::AbortUncommitted(Status status) {
       status, [sequencer](uint64_t bid) { return sequencer->IsCommitted(bid); });
   lock_.FailAllWaiters(status);
 
-  // Resolve root-PACT outcome waiters for every aborted batch.
-  for (auto it = batch_outcome_waiters_.begin();
-       it != batch_outcome_waiters_.end();) {
-    if (sequencer->IsAborted(it->first)) {
-      for (auto& p : it->second) p.TrySet(status);
-      it = batch_outcome_waiters_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
   // Quiesce: wait for in-flight invocations to unwind and undecided ACTs to
   // resolve (their 2PC outcomes arrive as later turns on this strand).
   while (!QuiescedForAbort()) {
@@ -764,14 +876,18 @@ Task<void> TransactionalActor::AbortUncommitted(Status status) {
   }
 
   // Promote committed-but-locally-unapplied snapshots (their BatchCommit
-  // message may still be in flight), in schedule order.
+  // message may still be in flight — or dropped by fault injection, so
+  // self-heal: apply the commit locally too; MarkBatchCommitted is
+  // idempotent and a late ReceiveBatchCommit then no-ops).
   for (auto it = pact_snapshots_.begin(); it != pact_snapshots_.end();) {
     if (sequencer->IsCommitted(it->first)) {
       if (it->second.seq >= last_committed_seq_) {
         if (it->second.wrote) committed_state_ = it->second.state;
         last_committed_seq_ = it->second.seq;
       }
-      ++it;  // keep: ReceiveBatchCommit will pop the schedule node
+      schedule_.MarkBatchCommitted(it->first);
+      batch_owner_.erase(it->first);
+      it = pact_snapshots_.erase(it);
     } else {
       it = pact_snapshots_.erase(it);
     }

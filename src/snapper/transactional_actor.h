@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -86,8 +87,19 @@ class TransactionalActor : public ActorBase {
 
   void OnActivate() override;
 
+  /// Fail-stop kill (ActorRuntime::KillActor): fails every waiter parked on
+  /// this zombie activation so nothing blocks on it forever.
+  void OnKill() override;
+
   /// Installs a recovered state (from the WAL) as both current and committed.
   void LoadRecoveredState(Value state);
+
+  /// Completes a kill/reactivate cycle (SnapperRuntime::KillActor step 5):
+  /// installs the WAL-recovered state into this fresh activation and starts
+  /// serving. `generation` guards against a newer kill superseding a
+  /// reactivation still in flight.
+  Task<void> FinishReactivation(std::optional<Value> state,
+                                uint64_t generation);
 
   // --- Introspection (tests, benches) --------------------------------------
 
@@ -172,7 +184,6 @@ class TransactionalActor : public ActorBase {
 
   std::map<uint64_t, PactSnapshot> pact_snapshots_;  // bid -> snapshot
   std::map<uint64_t, uint64_t> batch_owner_;         // bid -> coordinator
-  std::map<uint64_t, std::vector<Promise<Status>>> batch_outcome_waiters_;
 
   std::map<uint64_t, ActLocal> act_local_;  // tid -> local ACT bookkeeping
   std::set<uint64_t> prepared_acts_;
@@ -190,8 +201,17 @@ class TransactionalActor : public ActorBase {
   /// max(BS) of ACTs committed on this actor (§4.4.3: the Tj -> Ti carry).
   uint64_t act_bs_watermark_ = kNoBid;
 
+  /// Re-resolves a prepared ACT whose 2PC outcome message never arrived
+  /// (config.act_resolution_deadline) from the runtime's decision table.
+  void ArmPreparedActWatchdog(uint64_t tid, int attempt);
+  void ResolveStuckPreparedAct(uint64_t tid, int attempt);
+  static constexpr int kMaxPreparedActChecks = 8;
+
   int active_invocations_ = 0;
   bool aborting_ = false;
+  /// Fresh activation after a fail-stop kill, durable state not yet
+  /// reinstalled: reject all work (serving InitialState would fork history).
+  bool recovering_ = false;
   std::vector<Promise<Unit>> quiesce_waiters_;
 };
 

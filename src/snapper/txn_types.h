@@ -262,6 +262,15 @@ struct MessageCounters {
   std::atomic<uint64_t> act_aborts{0};
   std::atomic<uint64_t> token_passes{0};
 
+  // Fault-tolerance counters (kill/reactivate + liveness watchdogs).
+  std::atomic<uint64_t> actor_kills{0};
+  std::atomic<uint64_t> reactivations{0};
+  std::atomic<uint64_t> reactivation_us{0};  ///< summed kill→reinstall time
+  std::atomic<uint64_t> watchdog_batch_aborts{0};
+  std::atomic<uint64_t> watchdog_act_aborts{0};       ///< vote/ack deadlines
+  std::atomic<uint64_t> watchdog_act_resolutions{0};  ///< stuck-2PC re-resolves
+  std::atomic<uint64_t> txn_deadline_aborts{0};
+
   void Reset() {
     batch_msgs = 0;
     batch_completes = 0;
@@ -270,6 +279,13 @@ struct MessageCounters {
     act_commits = 0;
     act_aborts = 0;
     token_passes = 0;
+    actor_kills = 0;
+    reactivations = 0;
+    reactivation_us = 0;
+    watchdog_batch_aborts = 0;
+    watchdog_act_aborts = 0;
+    watchdog_act_resolutions = 0;
+    txn_deadline_aborts = 0;
   }
 };
 

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 
 #include "async/task.h"
 
@@ -153,6 +156,139 @@ TEST(ActorRuntimeDelayTest, InjectedDelaysPreserveSerialization) {
                                   [](CounterActor& a) { return a.Get(); })
                 .Get(),
             100);
+}
+
+// Witnesses OnKill: the fail-stop hook must run (on the strand) exactly once
+// per kill, on the killed instance.
+class KillWitnessActor : public ActorBase {
+ public:
+  explicit KillWitnessActor(std::shared_ptr<std::atomic<int>> kills)
+      : kills_(std::move(kills)) {}
+  Task<int64_t> Add(int64_t delta) {
+    value_ += delta;
+    co_return value_;
+  }
+  Task<int64_t> Get() { co_return value_; }
+  void OnKill() override { kills_->fetch_add(1); }
+
+ private:
+  std::shared_ptr<std::atomic<int>> kills_;
+  int64_t value_ = 0;
+};
+
+template <typename Pred>
+bool SpinUntil(Pred pred, int ms = 2000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(ActorKillTest, KillEvictsStateRunsOnKillAndReactivatesFresh) {
+  auto kills = std::make_shared<std::atomic<int>>(0);
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});
+  const uint32_t type = rt.RegisterType("KillWitness", [kills](uint64_t) {
+    return std::make_shared<KillWitnessActor>(kills);
+  });
+  const ActorId id{type, 1};
+  EXPECT_EQ(rt.Call<KillWitnessActor>(
+                  id, [](KillWitnessActor& a) { return a.Add(5); })
+                .Get(),
+            5);
+
+  EXPECT_TRUE(rt.KillActor(id));
+  EXPECT_EQ(rt.num_kills(), 1u);
+  // OnKill is posted to the victim's strand, not run inline.
+  EXPECT_TRUE(SpinUntil([&]() { return kills->load() == 1; }));
+
+  // Next dispatch activates a *fresh* instance: state gone, not failed.
+  EXPECT_EQ(rt.Call<KillWitnessActor>(
+                  id, [](KillWitnessActor& a) { return a.Get(); })
+                .Get(),
+            0);
+  // Killing an id with no live activation is a no-op.
+  EXPECT_FALSE(rt.KillActor(ActorId{type, 99}));
+  EXPECT_EQ(rt.num_kills(), 1u);
+}
+
+TEST(MessageFaultTest, LinkDownDropsDroppableOnlyAndReliableSurvives) {
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  const ActorId id{type, 1};
+  rt.msg_faults().SetLinkDown(true);
+
+  auto dropped = rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(1); }, MsgGuard::kDroppable);
+  auto reliable = rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(2); }, MsgGuard::kReliable);
+  // kReliable is never dropped, even with the link "down".
+  EXPECT_EQ(reliable.Get(), 2);
+  EXPECT_FALSE(dropped.ready());  // the dropped call never ran, never will
+  EXPECT_EQ(rt.msg_faults().dropped(), 1u);
+
+  rt.msg_faults().ClearFaults();
+  EXPECT_EQ(rt.Call<CounterActor>(id,
+                                  [](CounterActor& a) { return a.Get(); })
+                .Get(),
+            2);
+  EXPECT_FALSE(dropped.ready());  // drop is permanent, not deferred
+}
+
+TEST(MessageFaultTest, FailNthDuplicateRunsMethodTwice) {
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  const ActorId id{type, 1};
+  rt.msg_faults().FailNth(MessageFaultInjector::Action::kDuplicate, 1);
+
+  auto f = rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(1); }, MsgGuard::kDroppable);
+  // The caller's own delivery resolves; which of the two lands first is the
+  // injector's business (currently the duplicate goes first).
+  EXPECT_GE(f.Get(), 1);
+  EXPECT_EQ(rt.msg_faults().duplicated(), 1u);
+  // The duplicate delivery executes too (turns are serialized, so the
+  // second Add lands after the first).
+  EXPECT_TRUE(SpinUntil([&]() {
+    return rt.Call<CounterActor>(id, [](CounterActor& a) { return a.Get(); })
+               .Get() == 2;
+  }));
+}
+
+TEST(MessageFaultTest, FailNthDelayDefersButResolves) {
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  const ActorId id{type, 1};
+  rt.msg_faults().FailNth(MessageFaultInjector::Action::kDelay, 1);
+
+  auto f = rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(7); }, MsgGuard::kDroppable);
+  EXPECT_EQ(f.Get(), 7);
+  EXPECT_EQ(rt.msg_faults().delayed(), 1u);
+  EXPECT_EQ(rt.msg_faults().dropped(), 0u);
+}
+
+TEST(MessageFaultTest, ProbabilisticDropIsSeededAndCounted) {
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  const ActorId id{type, 1};
+  MessageFaultInjector::Options options;
+  options.drop_probability = 1.0;
+  rt.msg_faults().InjectProbabilistically(options, 42);
+
+  auto dropped = rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(1); }, MsgGuard::kDroppable);
+  EXPECT_EQ(rt.Call<CounterActor>(
+                  id, [](CounterActor& a) { return a.Add(2); },
+                  MsgGuard::kReliable)
+                .Get(),
+            2);
+  EXPECT_FALSE(dropped.ready());
+  EXPECT_GE(rt.msg_faults().dropped(), 1u);
+  EXPECT_GE(rt.msg_faults().messages(), 2u);
 }
 
 TEST(ActorIdTest, HashAndEquality) {

@@ -1,0 +1,64 @@
+// Shared no-hang helper for tests that wait on futures produced by a runtime
+// under fault injection. Hand-rolled Gate+cv blocks in individual tests keep
+// growing subtle variants (missed notify before wait, waiting on a stack
+// gate a leaked runtime can still touch); this centralizes the one correct
+// shape: a shared_ptr gate that outlives the waiting frame, WhenAll-driven,
+// with a hard deadline.
+//
+// On expiry the helpers *return* the number of unresolved futures instead of
+// asserting, so the caller can report which futures hung (and deliberately
+// leak a runtime whose destructor would block on them).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "async/future.h"
+
+namespace snapper::testing {
+
+/// Waits until every future in `futures` resolves (OK or exceptional) or
+/// `seconds` elapse. Returns the number of still-unresolved futures: 0 means
+/// all resolved in time.
+template <typename T>
+size_t WaitAllResolved(const std::vector<Future<T>>& futures, double seconds) {
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  // WhenAll copies the futures, and the lambda holds only the shared gate:
+  // a late completion after expiry touches neither this frame nor the
+  // caller's vector.
+  WhenAll(futures).OnReady([gate]() {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->done = true;
+    gate->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(gate->mu);
+  const bool resolved =
+      gate->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                        [&gate]() { return gate->done; });
+  if (resolved) return 0;
+  size_t unresolved = 0;
+  for (const auto& f : futures) {
+    if (!f.ready()) unresolved++;
+  }
+  // All futures may have resolved between the timeout and the scan; report
+  // at least one so "expired" is never conflated with "clean".
+  return unresolved > 0 ? unresolved : 1;
+}
+
+/// Single-future convenience: true iff `future` resolved within `seconds`.
+template <typename T>
+bool WaitResolved(const Future<T>& future, double seconds) {
+  std::vector<Future<T>> one{future};
+  return WaitAllResolved(one, seconds) == 0;
+}
+
+}  // namespace snapper::testing

@@ -82,5 +82,120 @@ TEST(ChaosTest, RandomizedSeedSweepConservesBalances) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Actor-layer chaos (ISSUE: actor kills + message faults + watchdogs).
+// ---------------------------------------------------------------------------
+
+std::string Describe(const ActorChaosReport& r) {
+  std::ostringstream os;
+  os << "committed=" << r.committed << " aborted=" << r.aborted
+     << " in_doubt=" << r.in_doubt << " unresolved=" << r.unresolved
+     << " kills=" << r.actor_kills << " reactivations=" << r.reactivations
+     << " wd_batch=" << r.watchdog_batch_aborts
+     << " wd_act=" << r.watchdog_act_aborts
+     << " wd_resolved=" << r.watchdog_act_resolutions
+     << " msgs=" << r.msgs_total << " dropped=" << r.msgs_dropped
+     << " dup=" << r.msgs_duplicated << " delayed=" << r.msgs_delayed
+     << " violation='" << r.violation << "'";
+  return os.str();
+}
+
+// Seeded sweep (ISSUE acceptance: >= 24 seeds, Snapper): random actor kills
+// plus probabilistic message delay/drop/duplication during a mixed PACT/ACT
+// round. Every seed must terminate, conserve money, and keep acked-committed
+// transactions durable across kill/reactivation and the final silo crash.
+TEST(ActorChaosTest, SnapperSeededSweep) {
+  for (uint64_t k = 0; k < 24; ++k) {
+    ActorChaosOptions options;
+    options.seed = 9000 + k;
+    ActorChaosReport report = RunSmallBankActorChaos(options);
+    EXPECT_TRUE(report.ok()) << "seed=" << options.seed << " "
+                             << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
+    EXPECT_GE(report.actor_kills, 1u) << "seed=" << options.seed;
+  }
+}
+
+// Same sweep over the OrleansTxn baseline (ISSUE acceptance: both stacks).
+// The TA survives kills, so there is no in-doubt class: every ack is a
+// decided outcome the rebuilt state must agree with.
+TEST(ActorChaosTest, OtxnSeededSweep) {
+  for (uint64_t k = 0; k < 24; ++k) {
+    ActorChaosOptions options;
+    options.seed = 9100 + k;
+    options.use_otxn = true;
+    ActorChaosReport report = RunSmallBankActorChaos(options);
+    EXPECT_TRUE(report.ok()) << "seed=" << options.seed << " "
+                             << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
+    EXPECT_EQ(report.in_doubt, 0) << "seed=" << options.seed;
+    EXPECT_GE(report.actor_kills, 1u) << "seed=" << options.seed;
+  }
+}
+
+// Scripted drop walked across the PACT batch protocol's droppable messages
+// (sub-batch emits, BatchComplete acks, BatchCommit notifications): whatever
+// message is lost, the per-batch deadline watchdog must detect the stall and
+// resolve it with a deterministic durable abort — never a hang. Across the
+// walk at least one drop must have been absorbed by the batch watchdog.
+TEST(ActorChaosTest, DroppedBatchMessageResolvedByWatchdog) {
+  uint64_t watchdog_fired = 0;
+  for (uint64_t n = 1; n <= 6; ++n) {
+    ActorChaosOptions options;
+    options.seed = 9200 + n;
+    options.act_fraction = 0.0;  // PACT-only: pure batch protocol
+    options.num_kills = 0;
+    options.msg_drop_p = options.msg_dup_p = options.msg_delay_p = 0;
+    options.drop_nth = n;
+    ActorChaosReport report = RunSmallBankActorChaos(options);
+    EXPECT_TRUE(report.ok()) << "n=" << n << " " << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "n=" << n;
+    EXPECT_GE(report.msgs_dropped, 1u) << "n=" << n;
+    watchdog_fired += report.watchdog_batch_aborts;
+  }
+  EXPECT_GE(watchdog_fired, 1u);
+}
+
+// Same walk over the ACT 2PC droppable messages (Prepare/Commit/Abort
+// fan-outs and their acks): a lost vote times out at the root, a lost
+// decision is re-derived (or presumed aborted) by the prepared-participant
+// watchdog. The walk must trigger at least one of those paths.
+TEST(ActorChaosTest, DroppedAct2pcMessageResolvedByWatchdog) {
+  uint64_t resolved = 0;
+  for (uint64_t n = 1; n <= 6; ++n) {
+    ActorChaosOptions options;
+    options.seed = 9300 + n;
+    options.act_fraction = 1.0;  // ACT-only: pure 2PC
+    options.num_kills = 0;
+    options.msg_drop_p = options.msg_dup_p = options.msg_delay_p = 0;
+    options.drop_nth = n;
+    ActorChaosReport report = RunSmallBankActorChaos(options);
+    EXPECT_TRUE(report.ok()) << "n=" << n << " " << Describe(report);
+    EXPECT_EQ(report.unresolved, 0) << "n=" << n;
+    EXPECT_GE(report.msgs_dropped, 1u) << "n=" << n;
+    resolved += report.watchdog_act_aborts + report.watchdog_act_resolutions;
+  }
+  EXPECT_GE(resolved, 1u);
+}
+
+// The JSON metrics line must carry every fault-tolerance counter the bench
+// harness aggregates (ISSUE satellite: metrics output).
+TEST(ActorChaosTest, ReportJsonCarriesFaultCounters) {
+  ActorChaosOptions options;
+  options.seed = 9400;
+  ActorChaosReport report = RunSmallBankActorChaos(options);
+  const std::string json = report.ToJson();
+  for (const char* key :
+       {"\"committed\":", "\"aborted\":", "\"in_doubt\":", "\"unresolved\":",
+        "\"actor_kills\":", "\"reactivations\":", "\"reactivation_us\":",
+        "\"watchdog_batch_aborts\":", "\"watchdog_act_aborts\":",
+        "\"watchdog_act_resolutions\":", "\"txn_deadline_aborts\":",
+        "\"msgs_total\":", "\"msgs_dropped\":", "\"msgs_duplicated\":",
+        "\"msgs_delayed\":", "\"total_balance\":", "\"expected_total\":",
+        "\"ok\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing: " << json;
+  }
+}
+
 }  // namespace
 }  // namespace snapper::harness

@@ -100,6 +100,25 @@ TEST(BenchResultTest, Rates) {
   EXPECT_NE(r.Summary().find("tps=5"), std::string::npos);
 }
 
+TEST(BenchResultTest, FaultToleranceJsonCarriesCounters) {
+  MessageCounters counters;
+  counters.actor_kills.store(3);
+  counters.reactivations.store(2);
+  counters.reactivation_us.store(1500);
+  counters.watchdog_batch_aborts.store(4);
+  counters.watchdog_act_aborts.store(5);
+  counters.watchdog_act_resolutions.store(6);
+  counters.txn_deadline_aborts.store(7);
+  const std::string json = FaultToleranceJson(counters);
+  EXPECT_NE(json.find("\"actor_kills\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reactivations\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reactivation_us\":1500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"watchdog_batch_aborts\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_act_aborts\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_act_resolutions\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"txn_deadline_aborts\":7"), std::string::npos);
+}
+
 TEST(SmallBankGeneratorTest, ProducesDistinctActorsAndValidInfo) {
   SmallBankWorkloadConfig config;
   config.actor_type = 7;

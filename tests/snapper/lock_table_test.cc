@@ -178,6 +178,33 @@ TEST(ActorLockTest, ReleasePurgesOwnQueuedWaiters) {
   EXPECT_TRUE(lock.IsFree());
 }
 
+TEST(ActorLockTest, MidChainCascadingAbortFailsOnlyThatWaiter) {
+  // Wait chain 1 <- 2 <- 3(holder): tid 2 sits mid-chain when a cascading
+  // abort (its own dependency aborted on another actor) releases it. Only
+  // tid 2's queued request may fail — tid 1 must stay parked and still get
+  // the lock when the holder finishes.
+  ActorLock lock;
+  auto f3 = lock.Acquire(3, AccessMode::kReadWrite);
+  EXPECT_TRUE(Get(f3).ok());
+  auto f2 = lock.Acquire(2, AccessMode::kReadWrite);  // older: waits
+  auto f1 = lock.Acquire(1, AccessMode::kReadWrite);  // oldest: waits
+  EXPECT_FALSE(f2.ready());
+  EXPECT_FALSE(f1.ready());
+  EXPECT_EQ(lock.num_waiters(), 2u);
+
+  lock.Release(2);  // cascading abort reaches this actor for tid 2
+  EXPECT_TRUE(f2.ready());
+  EXPECT_EQ(f2.Peek().abort_reason(), AbortReason::kCascading);
+  EXPECT_FALSE(f1.ready());  // untouched mid-chain survivor
+  EXPECT_EQ(lock.num_waiters(), 1u);
+  EXPECT_TRUE(lock.IsHeldBy(3));
+
+  lock.Release(3);
+  EXPECT_TRUE(f1.ready());
+  EXPECT_TRUE(f1.Peek().ok());
+  EXPECT_TRUE(lock.IsHeldBy(1));
+}
+
 TEST(ActorLockTest, FailAllWaiters) {
   ActorLock lock;
   auto fw = lock.Acquire(9, AccessMode::kReadWrite);

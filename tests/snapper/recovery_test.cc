@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "snapper/snapper_runtime.h"
+#include "tests/common/watchdog.h"
 #include "wal/log_format.h"
 #include "workloads/smallbank.h"
 
@@ -141,9 +142,13 @@ TEST_F(RecoveryTest, RandomizedCrashPointsConserveMoney) {
                                          std::move(input)));
         }
       }
-      // Crash mid-flight: wait for a random prefix only.
+      // Crash mid-flight: wait for a random prefix only (deadline-bounded —
+      // a hung future should fail the round, not wedge the test binary).
       const size_t waited = rng.Uniform(futures.size() + 1);
-      for (size_t i = 0; i < waited; ++i) futures[i].Get();
+      std::vector<Future<TxnResult>> prefix(futures.begin(),
+                                            futures.begin() + waited);
+      ASSERT_EQ(0u, testing::WaitAllResolved(prefix, 30.0))
+          << "round " << round << ": prefix futures hung";
       env.CrashAll();
       // Remaining futures resolve or not; the runtime is torn down either
       // way (destructor drains workers).
@@ -160,6 +165,78 @@ TEST_F(RecoveryTest, RandomizedCrashPointsConserveMoney) {
     }
     EXPECT_DOUBLE_EQ(total, 6 * kPer) << "round " << round;
   }
+}
+
+TEST(RecoveryManagerTest, BatchAbortExcludesAllCompletesInference) {
+  // A watchdog-aborted batch can have every participant's BatchComplete on
+  // disk (only the acks were lost). The durable BatchAbort must veto the
+  // all-completes rule — for the batch itself AND for chain successors —
+  // while an explicit BatchCommit on another bid still wins outright.
+  MemEnv env;
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("wal-0.log", &f).ok());
+    std::string buf;
+    // Batch 5: all completes durable, but watchdog-aborted.
+    LogRecord info;
+    info.type = LogRecordType::kBatchInfo;
+    info.id = 5;
+    info.participants = {ActorId{1, 10}, ActorId{1, 20}};
+    FrameRecord(info, &buf);
+    LogRecord c1;
+    c1.type = LogRecordType::kBatchComplete;
+    c1.id = 5;
+    c1.actor = ActorId{1, 10};
+    c1.state = Value(111.0).Encode();
+    FrameRecord(c1, &buf);
+    LogRecord c2 = c1;
+    c2.actor = ActorId{1, 20};
+    c2.state = Value(222.0).Encode();
+    FrameRecord(c2, &buf);
+    LogRecord abort;
+    abort.type = LogRecordType::kBatchAbort;
+    abort.id = 5;
+    FrameRecord(abort, &buf);
+    // Batch 7: chained onto 5, all completes durable. Its snapshots embed
+    // batch 5's (aborted) effects, so it must not commit either.
+    LogRecord info7;
+    info7.type = LogRecordType::kBatchInfo;
+    info7.id = 7;
+    info7.prev_id = 5;
+    info7.participants = {ActorId{1, 10}};
+    FrameRecord(info7, &buf);
+    LogRecord c7 = c1;
+    c7.id = 7;
+    c7.state = Value(777.0).Encode();
+    FrameRecord(c7, &buf);
+    // Batch 9: explicit BatchCommit — a durable decision, wins even with a
+    // (protocol-impossible) stray abort record present.
+    LogRecord info9;
+    info9.type = LogRecordType::kBatchInfo;
+    info9.id = 9;
+    info9.participants = {ActorId{1, 20}};
+    FrameRecord(info9, &buf);
+    LogRecord c9 = c2;
+    c9.id = 9;
+    c9.state = Value(999.0).Encode();
+    FrameRecord(c9, &buf);
+    LogRecord abort9 = abort;
+    abort9.id = 9;
+    FrameRecord(abort9, &buf);
+    LogRecord commit9;
+    commit9.type = LogRecordType::kBatchCommit;
+    commit9.id = 9;
+    FrameRecord(commit9, &buf);
+    f->Append(buf);
+    f->Sync();
+  }
+  auto result = RecoveryManager::Run(&env);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().committed_batches, 1u);  // batch 9 only
+  EXPECT_EQ(result.value().actor_states.count(ActorId{1, 10}), 0u);
+  ASSERT_EQ(result.value().actor_states.count(ActorId{1, 20}), 1u);
+  EXPECT_DOUBLE_EQ(result.value().actor_states.at(ActorId{1, 20}).AsDouble(),
+                   999.0);
 }
 
 TEST(RecoveryManagerTest, CommitsBatchWithAllCompletesButNoCommitRecord) {
