@@ -6,11 +6,34 @@
 #   SNAPPER_SANITIZE=thread scripts/check.sh
 #   SNAPPER_SANITIZE="address undefined" scripts/check.sh
 # (CMakePresets.json exposes the same trees as asan/tsan/ubsan presets.)
+#
+# SNAPPER_SANITIZE=tidy runs clang-tidy (config: .clang-tidy) over every
+# translation unit in compile_commands.json instead of a sanitizer pass.
+# Requires clang-tidy on PATH — available in CI's clang leg; locally the
+# command fails fast with a clear message if the tool is missing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS="${SNAPPER_SANITIZE:-address thread}"
+
+run_tidy() {
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "error: SNAPPER_SANITIZE=tidy needs clang-tidy on PATH" >&2
+    exit 1
+  fi
+  # A plain build tree is enough: tidy only needs compile_commands.json.
+  cmake -B build -S . > /dev/null
+  local run_parallel
+  run_parallel="$(command -v run-clang-tidy || true)"
+  if [[ -n "${run_parallel}" ]]; then
+    "${run_parallel}" -p build -quiet "src/.*\.(cc|cpp)$"
+  else
+    git ls-files 'src/**/*.cc' | xargs -P "$(nproc)" -n 1 \
+      clang-tidy -p build --quiet
+  fi
+  echo "=== tidy: OK ==="
+}
 
 # Crash-simulation tests abandon in-flight coroutine frames by design; see
 # scripts/lsan.supp for the (tightly scoped) suppression list.
@@ -22,6 +45,10 @@ export LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp:${LSAN_OPTIONS:-}"
 export TSAN_OPTIONS="history_size=7:suppressions=$(pwd)/scripts/tsan.supp:${TSAN_OPTIONS:-}"
 
 for SANITIZER in ${SANITIZERS}; do
+  if [[ "${SANITIZER}" == "tidy" ]]; then
+    run_tidy
+    continue
+  fi
   BUILD_DIR="build-${SANITIZER}"
   echo "=== ${SANITIZER}: ${BUILD_DIR} ==="
   cmake -B "${BUILD_DIR}" -S . -DSNAPPER_SANITIZE="${SANITIZER}"

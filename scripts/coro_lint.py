@@ -1,0 +1,682 @@
+#!/usr/bin/env python3
+"""Coroutine/strand concurrency lint for the snapper tree.
+
+Enforces the hazards Clang's thread-safety analysis cannot see — the rules
+live in DESIGN.md "Concurrency discipline":
+
+  ref-capture-coro   A lambda whose body is a coroutine (contains co_await /
+                     co_return / co_yield) captures by reference or captures
+                     `this`. The lambda frame outlives the enclosing scope at
+                     the first suspension point, so every by-ref capture is a
+                     potential dangling reference. Reported at the lambda
+                     introducer.
+
+  lock-across-await  A MutexLock / std::lock_guard / std::unique_lock /
+                     std::scoped_lock is live in an enclosing scope of a
+                     co_await. The coroutine may resume on a different
+                     thread, which is UB for every std mutex (unlock on a
+                     non-owning thread), and holding a lock across suspension
+                     invites lock-order deadlocks with the resuming executor.
+                     An explicit `lock.Unlock()` before the await clears the
+                     hazard (a following `lock.Lock()` re-arms it). Reported
+                     at the co_await.
+
+  discarded-task     A call to a function declared as returning Task<...> or
+                     Future<...> used as a bare expression statement. A
+                     discarded Task never runs (lazy start) and a discarded
+                     Future loses the only handle to its result — both are
+                     almost always bugs. Call sites that co_await, Start(),
+                     assign, or otherwise consume the value are fine.
+                     Reported at the call.
+
+  state-escape       Inside a coroutine body, a raw pointer or reference is
+                     bound to member state (an identifier with the trailing-
+                     underscore member convention, or through `this->`) and
+                     then used after a co_await in the same scope. Reentrancy
+                     means other turns of the same actor may mutate or move
+                     that state during the suspension. Reported at the
+                     binding declaration.
+
+Engine: a self-contained tokenizer + scope tracker — no libclang required
+(the container has none). When a compile_commands.json is available it is
+used only for translation-unit discovery; the analysis itself is syntactic.
+
+Suppressions:
+  * inline: `// coro-lint: allow(<rule>)` on the reported line or the line
+    directly above it;
+  * file-level: scripts/coro_lint_allow.txt entries of the form
+    `<path-suffix>:<rule>` (blank lines and `#` comments ignored).
+
+Self-test: `--self-test <fixture-dir>` runs the rules over the fixture
+corpus and requires the reported (file, line, rule) set to exactly match the
+`// EXPECT-LINT: <rule>[,<rule>...]` markers in the fixtures. CTest runs
+this plus a clean pass over src/.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = (
+    "ref-capture-coro",
+    "lock-across-await",
+    "discarded-task",
+    "state-escape",
+)
+
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# Longest-match-first multi-character punctuators the rules care about;
+# everything else falls through as single characters.
+PUNCTS = (
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++",
+    "--",
+)
+
+COROUTINE_KEYWORDS = {"co_await", "co_return", "co_yield"}
+# Single-token types accepted on the left of a `T* p = ...` / `T& r = ...`
+# binding in the state-escape rule (besides `auto` and any UpperCamel type).
+BUILTIN_TYPES = {
+    "int", "unsigned", "long", "short", "char", "bool", "float", "double",
+    "size_t", "ssize_t", "uintptr_t", "intptr_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+}
+LOCK_TYPES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}
+ALLOW_RE = re.compile(r"coro-lint:\s*allow\(([a-z\-,\s]+)\)")
+EXPECT_RE = re.compile(r"EXPECT-LINT:\s*([a-z\-,\s]+)")
+
+
+class Token:
+    __slots__ = ("text", "line", "is_ident")
+
+    def __init__(self, text, line, is_ident):
+        self.text = text
+        self.line = line
+        self.is_ident = is_ident
+
+    def __repr__(self):
+        return f"{self.text}@{self.line}"
+
+
+def tokenize(source):
+    """Returns (tokens, comments) where comments maps line -> comment text
+    (all comments that *start* on that line, concatenated)."""
+    tokens = []
+    comments = {}
+    i, n, line = 0, len(source), 1
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            j = source.find("\n", i)
+            j = n if j == -1 else j
+            comments[line] = comments.get(line, "") + source[i:j]
+            i = j
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            j = source.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            comments[line] = comments.get(line, "") + source[i : j + 2]
+            line += source.count("\n", i, j + 2)
+            i = j + 2
+            continue
+        if c == "R" and source.startswith('R"', i):
+            m = re.match(r'R"([^()\\ ]{0,16})\(', source[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = source.find(close, i + m.end())
+                j = n - len(close) if j == -1 else j
+                line += source.count("\n", i, j + len(close))
+                i = j + len(close)
+                continue
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and source[j] != c:
+                j += 2 if source[j] == "\\" else 1
+            tokens.append(Token(c + "…" + c, line, False))
+            line += source.count("\n", i, j + 1)
+            i = j + 1
+            continue
+        m = IDENT_RE.match(source, i)
+        if m:
+            tokens.append(Token(m.group(0), line, True))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = re.match(r"[0-9][0-9a-zA-Z_.']*", source[i:])
+            tokens.append(Token(m.group(0), line, False))
+            i += m.end()
+            continue
+        for p in PUNCTS:
+            if source.startswith(p, i):
+                tokens.append(Token(p, line, False))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token(c, line, False))
+            i += 1
+    return tokens, comments
+
+
+def match_paren(tokens, i, open_ch="(", close_ch=")"):
+    """tokens[i] must be open_ch; returns index of the matching close_ch
+    (or len(tokens)-1 if unbalanced)."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == open_ch:
+            depth += 1
+        elif t == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(tokens) - 1
+
+
+def is_lambda_introducer(tokens, i):
+    """Heuristic: `[` starts a lambda when it cannot be a subscript or an
+    attribute, i.e. the previous token is not a value-yielding terminator."""
+    if tokens[i].text != "[":
+        return False
+    if i + 1 < len(tokens) and tokens[i + 1].text == "[":
+        return False  # [[attribute]]
+    if i > 0 and tokens[i - 1].text == "[":
+        return False  # second bracket of [[
+    if i == 0:
+        return True
+    prev = tokens[i - 1]
+    if prev.is_ident:
+        # `return [..]` / `co_return [..]` / `co_await [..]` are lambdas;
+        # `arr[..]` is a subscript.
+        return prev.text in {
+            "return", "co_return", "co_await", "co_yield", "case", "mutable",
+        }
+    return prev.text not in {")", "]", "…", '"…"', "'…'"}
+
+
+def lambda_body_range(tokens, i):
+    """i points at the lambda `[`. Returns (captures, body_lo, body_hi) where
+    captures is the token list inside [..] and [body_lo, body_hi] brackets
+    the body braces; None if no body found (not actually a lambda)."""
+    close = match_paren(tokens, i, "[", "]")
+    captures = tokens[i + 1 : close]
+    j = close + 1
+    if j < len(tokens) and tokens[j].text == "(":
+        j = match_paren(tokens, j) + 1
+    # Skip specifiers/annotations/trailing return up to the body brace.
+    guard = 0
+    while j < len(tokens) and tokens[j].text != "{" and guard < 64:
+        if tokens[j].text in {";", ")", "]", "}", "=", ","}:
+            return captures, None, None  # e.g. `[x]` used as array/attr-ish
+        if tokens[j].text == "(":
+            j = match_paren(tokens, j)
+        j += 1
+        guard += 1
+    if j >= len(tokens) or tokens[j].text != "{":
+        return captures, None, None
+    return captures, j, match_paren(tokens, j, "{", "}")
+
+
+def rule_ref_capture_coro(tokens, report):
+    for i, tok in enumerate(tokens):
+        if not is_lambda_introducer(tokens, i):
+            continue
+        captures, lo, hi = lambda_body_range(tokens, i)
+        if lo is None:
+            continue
+        body = tokens[lo : hi + 1]
+        if not any(t.text in COROUTINE_KEYWORDS for t in body):
+            continue
+        texts = [t.text for t in captures]
+        by_ref = "&" in texts
+        # `[*this]` copies and is safe; a bare `this` capture is not.
+        this_cap = any(
+            x == "this" and (k == 0 or texts[k - 1] != "*")
+            for k, x in enumerate(texts)
+        )
+        if by_ref or this_cap:
+            report(
+                tok.line,
+                "ref-capture-coro",
+                "lambda coroutine captures by reference or captures `this`; "
+                "the frame outlives the capture at the first suspension",
+            )
+
+
+def rule_lock_across_await(tokens, report):
+    # scope stack: each entry is a list of live locks
+    # [name, decl_line, released] declared at that depth.
+    stack = [[]]
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        if t.text == "{":
+            stack.append([])
+        elif t.text == "}":
+            if len(stack) > 1:
+                stack.pop()
+        elif t.is_ident and t.text in LOCK_TYPES:
+            # Pattern: LockType [<...>] name ( ... )   or  { ... }
+            j = i + 1
+            if j < len(tokens) and tokens[j].text == "<":
+                j = match_paren(tokens, j, "<", ">") + 1
+            if (
+                j < len(tokens)
+                and tokens[j].is_ident
+                and j + 1 < len(tokens)
+                and tokens[j + 1].text in {"(", "{"}
+            ):
+                stack[-1].append([tokens[j].text, t.line, False])
+                i = j + 1
+                continue
+        elif t.is_ident and i + 2 < len(tokens) and tokens[i + 1].text == ".":
+            method = tokens[i + 2].text
+            if method in {"Unlock", "unlock", "Lock", "lock"}:
+                for scope in stack:
+                    for lock in scope:
+                        if lock[0] == t.text:
+                            lock[2] = method in {"Unlock", "unlock"}
+        elif t.text == "co_await":
+            for scope in stack:
+                for name, decl_line, released in scope:
+                    if not released:
+                        report(
+                            t.line,
+                            "lock-across-await",
+                            f"`{name}` (declared line {decl_line}) is held "
+                            "across co_await; a coroutine may resume on "
+                            "another thread, and std mutexes must unlock on "
+                            "the locking thread",
+                        )
+        i += 1
+
+
+def collect_task_returning(tokens, names):
+    """Adds to `names` every identifier declared with a Task<...> or
+    Future<...> return type in this token stream."""
+    for i, t in enumerate(tokens):
+        if t.text not in {"Task", "Future"} or not t.is_ident:
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "<":
+            continue
+        j = match_paren(tokens, i + 1, "<", ">") + 1
+        # Skip qualification: Task<T> Class::Method( | Task<T> Method(
+        while (
+            j + 1 < len(tokens)
+            and tokens[j].is_ident
+            and tokens[j + 1].text == "::"
+        ):
+            j += 2
+        if (
+            j + 1 < len(tokens)
+            and tokens[j].is_ident
+            and tokens[j + 1].text == "("
+        ):
+            names.add(tokens[j].text)
+
+
+def rule_discarded_task(tokens, report, task_names):
+    # Statement boundaries are `;`, `{`, `}`; at each, try to match
+    #   [ident (. | -> | ::) ]* name ( ... ) ;
+    starts = [0]
+    for i, t in enumerate(tokens):
+        if t.text in {";", "{", "}"}:
+            starts.append(i + 1)
+    for s in starts:
+        i = s
+        # Walk a postfix chain of identifiers.
+        if i >= len(tokens) or not tokens[i].is_ident:
+            continue
+        if tokens[i].text in {
+            "return", "co_return", "co_await", "co_yield", "if", "while",
+            "for", "switch", "case", "else", "do", "new", "delete", "using",
+            "typedef", "template", "public", "private", "protected",
+        }:
+            continue
+        # Walk a postfix chain — `a.b`, `a->b()`, `ns::f(x).g(y)` — to the
+        # final callee of the statement.
+        n = len(tokens)
+        while i < n and tokens[i].is_ident:
+            name = tokens[i].text
+            nxt = i + 1
+            if nxt < n and tokens[nxt].text == "(":
+                close = match_paren(tokens, nxt)
+                after = close + 1
+                if (
+                    after + 1 < n
+                    and tokens[after].text in {".", "->"}
+                    and tokens[after + 1].is_ident
+                ):
+                    i = after + 1
+                    continue
+                # Final call of the chain. `task.Start(strand)` /
+                # `task.StartInline()` is how a task is *consumed* for
+                # fire-and-forget: the task runs and only the result Future
+                # is dropped, which is the caller's explicit choice.
+                if (
+                    name in task_names
+                    and name not in {"Start", "StartInline"}
+                    and after < n
+                    and tokens[after].text == ";"
+                ):
+                    report(
+                        tokens[s].line,
+                        "discarded-task",
+                        f"result of Task/Future-returning `{name}(...)` is "
+                        "discarded; a lazy Task never runs and a dropped "
+                        "Future loses its only result handle (co_await it, "
+                        "Start() it, or bind it)",
+                    )
+                break
+            if (
+                nxt + 1 < n
+                and tokens[nxt].text in {".", "->", "::"}
+                and tokens[nxt + 1].is_ident
+            ):
+                i = nxt + 1
+                continue
+            break
+
+
+def rule_state_escape(tokens, report):
+    # Work function-by-function: a body brace whose contents contain a
+    # coroutine keyword. Then inside, find ptr/ref bindings to member state
+    # and their uses after a same-or-enclosing-scope co_await.
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text != "{":
+            i += 1
+            continue
+        hi = match_paren(tokens, i, "{", "}")
+        body = tokens[i : hi + 1]
+        if not any(t.text in COROUTINE_KEYWORDS for t in body):
+            i += 1
+            continue
+        _scan_state_escape(body, report)
+        i = hi + 1  # the outermost coroutine body covers nested scopes
+
+
+def _member_like(expr_tokens):
+    for t in expr_tokens:
+        if t.text == "this":
+            return True
+        if t.is_ident and t.text.endswith("_") and not t.text.startswith("_"):
+            return True
+    return False
+
+
+def _scan_state_escape(tokens, report):
+    # bindings: name -> [decl_line, decl_depth, awaited_since_bind]
+    depth = 0
+    scopes = [{}]
+    i, n = 0, len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.text == "{":
+            depth += 1
+            scopes.append({})
+        elif t.text == "}":
+            depth -= 1
+            scopes.pop()
+            if not scopes:
+                return
+        elif t.text == "co_await":
+            for scope in scopes:
+                for b in scope.values():
+                    b[2] = True
+        elif t.is_ident:
+            # Declaration patterns:  auto& x = expr;  auto* x = expr;
+            #                        Type& x = expr;  Type* x = expr;
+            # (single-token type or auto; good enough for the convention)
+            if (
+                i + 3 < n
+                and tokens[i + 1].text in {"&", "*"}
+                and tokens[i + 2].is_ident
+                and tokens[i + 3].text == "="
+                and (
+                    t.text == "auto"
+                    or t.text[0].isupper()
+                    or t.text in BUILTIN_TYPES
+                )
+            ):
+                j = i + 4
+                expr = []
+                while j < n and tokens[j].text != ";":
+                    expr.append(tokens[j])
+                    j += 1
+                if _member_like(expr) and not any(
+                    e.text in COROUTINE_KEYWORDS for e in expr
+                ):
+                    scopes[-1][tokens[i + 2].text] = [t.line, depth, False]
+                i = j
+                continue
+            # A use of a tracked binding after an intervening co_await.
+            for scope in scopes:
+                b = scope.get(t.text)
+                if b and b[2]:
+                    report(
+                        b[0],
+                        "state-escape",
+                        f"`{t.text}` binds a raw pointer/reference into "
+                        "actor state and is used after a co_await (line "
+                        f"{t.line}); reentrant turns may mutate that state "
+                        "during the suspension",
+                    )
+                    del scope[t.text]
+                    break
+        i += 1
+
+
+def discover_files(paths, compile_commands):
+    files = []
+    seen = set()
+
+    def add(p):
+        rp = os.path.realpath(p)
+        if rp not in seen and os.path.isfile(rp):
+            seen.add(rp)
+            files.append(p)
+
+    if paths:
+        for p in paths:
+            if os.path.isdir(p):
+                for root, dirs, names in os.walk(p):
+                    dirs[:] = [d for d in dirs if d not in {"build", ".git"}]
+                    for name in sorted(names):
+                        if name.endswith((".cc", ".cpp", ".h", ".hpp")):
+                            add(os.path.join(root, name))
+            else:
+                add(p)
+        return files
+    if compile_commands and os.path.exists(compile_commands):
+        with open(compile_commands) as f:
+            for entry in json.load(f):
+                path = os.path.join(entry["directory"], entry["file"])
+                path = os.path.normpath(path)
+                if f"{os.sep}src{os.sep}" in path:
+                    add(path)
+        # Headers never appear in compile_commands; sweep them from the
+        # source dirs of the TUs we found.
+        for src in list(files):
+            d = os.path.dirname(src)
+            for name in sorted(os.listdir(d)):
+                if name.endswith((".h", ".hpp")):
+                    add(os.path.join(d, name))
+        if files:
+            return files
+    # Fallback: the src tree next to this script.
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return discover_files([os.path.join(repo, "src")], None)
+
+
+def load_allowlist(path):
+    allow = set()
+    if not path or not os.path.exists(path):
+        return allow
+    with open(path) as f:
+        for raw in f:
+            entry = raw.split("#", 1)[0].strip()
+            if not entry:
+                continue
+            suffix, _, rule = entry.rpartition(":")
+            if rule in RULES and suffix:
+                allow.add((suffix, rule))
+            else:
+                print(
+                    f"coro_lint: bad allowlist entry {entry!r} in {path}",
+                    file=sys.stderr,
+                )
+    return allow
+
+
+def inline_allowed(comments, line, rule):
+    """True if an allow(<rule>) comment sits on the reported line or in the
+    contiguous comment block directly above it."""
+
+    def hit(text):
+        m = ALLOW_RE.search(text)
+        return m and rule in [r.strip() for r in m.group(1).split(",")]
+
+    if hit(comments.get(line, "")):
+        return True
+    probe = line - 1
+    while probe in comments:
+        if hit(comments[probe]):
+            return True
+        probe -= 1
+    return False
+
+
+def run(files, allowlist):
+    task_names = set()
+    token_cache = {}
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            tokens, comments = tokenize(f.read())
+        token_cache[path] = (tokens, comments)
+        collect_task_returning(tokens, task_names)
+    failures = 0
+    for path in files:
+        tokens, comments = token_cache[path]
+        violations = []
+
+        def report(line, rule, message):
+            violations.append((line, rule, message))
+
+        rule_ref_capture_coro(tokens, report)
+        rule_lock_across_await(tokens, report)
+        rule_discarded_task(tokens, report, task_names)
+        rule_state_escape(tokens, report)
+        for line, rule, message in sorted(violations):
+            if inline_allowed(comments, line, rule):
+                continue
+            norm = path.replace(os.sep, "/")
+            if any(norm.endswith(sfx) and rule == r for sfx, r in allowlist):
+                continue
+            print(f"{path}:{line}: [{rule}] {message}")
+            failures += 1
+    return failures
+
+
+def self_test(fixture_dir):
+    files = discover_files([fixture_dir], None)
+    if not files:
+        print(f"coro_lint --self-test: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 1
+    task_names = set()
+    cache = {}
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            tokens, comments = tokenize(f.read())
+        cache[path] = (tokens, comments)
+        collect_task_returning(tokens, task_names)
+    failures = 0
+    for path in files:
+        tokens, comments = cache[path]
+        expected = set()
+        for line, text in comments.items():
+            m = EXPECT_RE.search(text)
+            if m:
+                for rule in m.group(1).split(","):
+                    rule = rule.strip()
+                    if rule not in RULES:
+                        print(f"{path}:{line}: unknown EXPECT-LINT rule "
+                              f"{rule!r}", file=sys.stderr)
+                        failures += 1
+                    expected.add((line, rule))
+        got = set()
+
+        def report(line, rule, message):
+            # Inline suppressions are part of the behavior under test.
+            if not inline_allowed(comments, line, rule):
+                got.add((line, rule))
+
+        rule_ref_capture_coro(tokens, report)
+        rule_lock_across_await(tokens, report)
+        rule_discarded_task(tokens, report, task_names)
+        rule_state_escape(tokens, report)
+        for line, rule in sorted(expected - got):
+            print(f"{path}:{line}: MISSED expected [{rule}]")
+            failures += 1
+        for line, rule in sorted(got - expected):
+            print(f"{path}:{line}: UNEXPECTED [{rule}]")
+            failures += 1
+    if failures == 0:
+        print(f"coro_lint self-test OK over {len(files)} fixtures")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: "
+                             "translation units from compile_commands.json, "
+                             "else src/)")
+    parser.add_argument("--compile-commands",
+                        default=None,
+                        help="compile_commands.json for TU discovery")
+    parser.add_argument("--allowlist",
+                        default=os.path.join(os.path.dirname(
+                            os.path.abspath(__file__)),
+                            "coro_lint_allow.txt"),
+                        help="file-level suppression list")
+    parser.add_argument("--self-test", metavar="FIXTURE_DIR",
+                        help="verify rule reports against EXPECT-LINT "
+                             "markers in the fixture corpus")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.self_test)
+
+    cc = args.compile_commands
+    if cc is None:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for cand in (os.path.join(repo, "compile_commands.json"),
+                     os.path.join(repo, "build", "compile_commands.json")):
+            if os.path.exists(cand):
+                cc = cand
+                break
+    files = discover_files(args.paths, cc)
+    failures = run(files, load_allowlist(args.allowlist))
+    if failures:
+        print(f"coro_lint: {failures} violation(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"coro_lint: clean over {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

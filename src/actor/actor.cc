@@ -1,6 +1,20 @@
 #include "actor/actor.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace snapper {
+
+namespace internal {
+void StrandCheckFailed(const char* what, const std::string& actor_id) {
+  std::fprintf(stderr,
+               "SNAPPER_DCHECK_ON_STRAND violation: %s on actor %s called "
+               "off its owning strand\n",
+               what, actor_id.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace internal
 
 ActorRuntime::ActorRuntime(Options options)
     : options_(options),
@@ -18,7 +32,7 @@ ActorRuntime::~ActorRuntime() { Shutdown(); }
 uint32_t ActorRuntime::RegisterType(
     std::string name,
     std::function<std::shared_ptr<ActorBase>(uint64_t)> factory) {
-  std::lock_guard<std::mutex> lock(types_mu_);
+  MutexLock lock(&types_mu_);
   factories_.push_back(std::move(factory));
   type_names_.push_back(std::move(name));
   return static_cast<uint32_t>(factories_.size() - 1);
@@ -27,7 +41,7 @@ uint32_t ActorRuntime::RegisterType(
 std::shared_ptr<ActorBase> ActorRuntime::GetOrActivate(const ActorId& id) {
   Shard& shard = *shards_[ActorIdHash()(id) % kShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(id);
     if (it != shard.map.end()) return it->second;
   }
@@ -35,7 +49,7 @@ std::shared_ptr<ActorBase> ActorRuntime::GetOrActivate(const ActorId& id) {
   // the loser of a racing double-activation is discarded before first use.
   std::function<std::shared_ptr<ActorBase>(uint64_t)> factory;
   {
-    std::lock_guard<std::mutex> lock(types_mu_);
+    MutexLock lock(&types_mu_);
     assert(id.type < factories_.size() && "unregistered actor type");
     factory = factories_[id.type];
   }
@@ -44,7 +58,7 @@ std::shared_ptr<ActorBase> ActorRuntime::GetOrActivate(const ActorId& id) {
   actor->runtime_ = this;
   actor->strand_ = std::make_shared<Strand>(&executor_);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto [it, inserted] = shard.map.emplace(id, actor);
     if (!inserted) return it->second;
   }
@@ -57,7 +71,7 @@ bool ActorRuntime::KillActor(const ActorId& id) {
   Shard& shard = *shards_[ActorIdHash()(id) % kShards];
   std::shared_ptr<ActorBase> actor;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(id);
     if (it == shard.map.end()) return false;
     actor = std::move(it->second);
@@ -69,7 +83,7 @@ bool ActorRuntime::KillActor(const ActorId& id) {
   actor->failed_.store(true, std::memory_order_release);
   num_kills_.fetch_add(1);
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(&retired_mu_);
     retired_.push_back(actor);  // pin the zombie: frames hold raw `this`
   }
   actor->strand_->Post([actor]() { actor->OnKill(); });
@@ -77,9 +91,9 @@ bool ActorRuntime::KillActor(const ActorId& id) {
 }
 
 void ActorRuntime::CrashAllActors() {
-  std::lock_guard<std::mutex> retired_lock(retired_mu_);
+  MutexLock retired_lock(&retired_mu_);
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (auto& [id, actor] : shard->map) {
       actor->failed_.store(true, std::memory_order_release);
       retired_.push_back(std::move(actor));
@@ -93,12 +107,12 @@ void ActorRuntime::Shutdown() {
   timers_.Stop();
   executor_.Stop();
   // Workers are parked: no frame can touch a zombie anymore.
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(&retired_mu_);
   retired_.clear();
 }
 
 uint32_t ActorRuntime::RandomDelayMs() {
-  std::lock_guard<std::mutex> lock(rng_mu_);
+  MutexLock lock(&rng_mu_);
   return static_cast<uint32_t>(rng_.Uniform(max_delay_ms_.load() + 1));
 }
 

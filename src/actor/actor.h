@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "actor/message_faults.h"
 #include "async/executor.h"
@@ -65,6 +66,14 @@ struct ActorIdHash {
 
 class ActorRuntime;
 
+namespace internal {
+/// Out-of-line failure path for SNAPPER_DCHECK_ON_STRAND: prints the
+/// violation and aborts. Always compiled (tests enable the check per-target
+/// while linking against a library built without it).
+[[noreturn]] void StrandCheckFailed(const char* what,
+                                    const std::string& actor_id);
+}  // namespace internal
+
 /// Base class of every actor. Owns the actor's strand; subclasses run all
 /// state access on it.
 class ActorBase : public std::enable_shared_from_this<ActorBase> {
@@ -74,6 +83,22 @@ class ActorBase : public std::enable_shared_from_this<ActorBase> {
   const ActorId& id() const { return id_; }
   ActorRuntime& runtime() const { return *runtime_; }
   Strand& strand() const { return *strand_; }
+
+  /// Runtime enforcement of the "strand-confined, no lock" capability tier
+  /// (DESIGN.md "Concurrency discipline"): aborts unless the calling thread
+  /// is currently executing a turn of THIS actor's strand. Compiled in when
+  /// SNAPPER_DCHECK_ON_STRAND is defined (Debug builds and
+  /// -DSNAPPER_DCHECK_ON_STRAND=ON); zero-cost otherwise. `what` names the
+  /// guarded entry point in the failure message.
+  void DcheckOnStrand(const char* what) const {
+#ifdef SNAPPER_DCHECK_ON_STRAND
+    if (Strand::Current() != strand_.get()) {
+      internal::StrandCheckFailed(what, id_.ToString());
+    }
+#else
+    (void)what;
+#endif
+  }
 
   /// Called once on the actor's strand right after activation.
   virtual void OnActivate() {}
@@ -226,14 +251,16 @@ class ActorRuntime {
   Executor executor_;
   TimerService timers_;
 
-  std::mutex types_mu_;
-  std::vector<std::function<std::shared_ptr<ActorBase>(uint64_t)>> factories_;
-  std::vector<std::string> type_names_;
+  Mutex types_mu_;
+  std::vector<std::function<std::shared_ptr<ActorBase>(uint64_t)>> factories_
+      GUARDED_BY(types_mu_);
+  std::vector<std::string> type_names_ GUARDED_BY(types_mu_);
 
   static constexpr size_t kShards = 64;
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<ActorId, std::shared_ptr<ActorBase>, ActorIdHash> map;
+    Mutex mu;
+    std::unordered_map<ActorId, std::shared_ptr<ActorBase>, ActorIdHash> map
+        GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -242,11 +269,11 @@ class ActorRuntime {
   /// so freeing a zombie while its strand still has queued turns would be a
   /// use-after-free. The gates behind failed() keep zombies inert; this list
   /// just pins their storage. Bounded by kills per runtime lifetime.
-  std::mutex retired_mu_;
-  std::vector<std::shared_ptr<ActorBase>> retired_;
+  Mutex retired_mu_;
+  std::vector<std::shared_ptr<ActorBase>> retired_ GUARDED_BY(retired_mu_);
 
-  std::mutex rng_mu_;
-  Rng rng_;
+  Mutex rng_mu_;
+  Rng rng_ GUARDED_BY(rng_mu_);
   MessageFaultInjector msg_faults_;
   std::atomic<size_t> num_activations_{0};
   std::atomic<size_t> num_kills_{0};

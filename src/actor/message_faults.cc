@@ -3,7 +3,7 @@
 namespace snapper {
 
 void MessageFaultInjector::FailNth(Action action, uint64_t n, bool sticky) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   scripted_armed_ = n > 0;
   scripted_action_ = action;
   scripted_countdown_ = n;
@@ -13,7 +13,7 @@ void MessageFaultInjector::FailNth(Action action, uint64_t n, bool sticky) {
 
 void MessageFaultInjector::InjectProbabilistically(const Options& options,
                                                    uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   probabilistic_armed_ = true;
   options_ = options;
   rng_ = Rng(seed);
@@ -21,13 +21,13 @@ void MessageFaultInjector::InjectProbabilistically(const Options& options,
 }
 
 void MessageFaultInjector::SetLinkDown(bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   link_down_ = down;
   RecomputeActive();
 }
 
 void MessageFaultInjector::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   scripted_armed_ = false;
   probabilistic_armed_ = false;
   link_down_ = false;
@@ -40,7 +40,7 @@ void MessageFaultInjector::RecomputeActive() {
 }
 
 MessageFaultInjector::Decision MessageFaultInjector::Decide(MsgGuard guard) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   messages_.fetch_add(1);
   Decision d;
   const bool droppable = guard == MsgGuard::kDroppable;

@@ -16,8 +16,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace snapper {
@@ -81,19 +81,20 @@ class MessageFaultInjector {
   }
 
  private:
-  void RecomputeActive();  // callers hold mu_
+  void RecomputeActive() REQUIRES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
   // Scripted fault (FailNth / SetLinkDown).
-  bool scripted_armed_ = false;
-  Action scripted_action_ = Action::kDrop;
-  uint64_t scripted_countdown_ = 0;  // droppable messages until it fires
-  bool scripted_sticky_ = false;
-  bool link_down_ = false;
+  bool scripted_armed_ GUARDED_BY(mu_) = false;
+  Action scripted_action_ GUARDED_BY(mu_) = Action::kDrop;
+  // droppable messages until it fires
+  uint64_t scripted_countdown_ GUARDED_BY(mu_) = 0;
+  bool scripted_sticky_ GUARDED_BY(mu_) = false;
+  bool link_down_ GUARDED_BY(mu_) = false;
   // Probabilistic faults.
-  bool probabilistic_armed_ = false;
-  Options options_;
-  Rng rng_{0};
+  bool probabilistic_armed_ GUARDED_BY(mu_) = false;
+  Options options_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_){0};
 
   std::atomic<bool> active_{false};
   std::atomic<uint64_t> messages_{0};

@@ -21,22 +21,22 @@ Executor::~Executor() { Stop(); }
 
 void Executor::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return;
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void Executor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       // Already stopped; make sure threads are joined below exactly once.
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -49,8 +49,10 @@ void Executor::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         // stopping_ and drained: exit. (Tasks enqueued before Stop() still
         // run; posts after Stop() were dropped.)
@@ -66,7 +68,7 @@ void Executor::WorkerLoop() {
 void Strand::Post(std::function<void()> fn) {
   bool need_schedule = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(fn));
     if (!scheduled_) {
       scheduled_ = true;
@@ -88,7 +90,7 @@ void Strand::Drain() {
   for (int i = 0; i < kDrainBudget; ++i) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (queue_.empty()) {
         scheduled_ = false;
         tls_current_strand = prev;

@@ -7,14 +7,14 @@
 // task == one turn.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace snapper {
 
@@ -45,10 +45,12 @@ class Executor {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, before any concurrency; joined by
+  /// Stop() after stopping_ is set.
   std::vector<std::thread> threads_;
 };
 
@@ -78,9 +80,9 @@ class Strand : public std::enable_shared_from_this<Strand> {
   static constexpr int kDrainBudget = 32;
 
   Executor* executor_;
-  std::mutex mu_;
-  std::deque<std::function<void()>> queue_;
-  bool scheduled_ = false;  // a drain job is queued or running
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool scheduled_ GUARDED_BY(mu_) = false;  // a drain job is queued or running
 };
 
 }  // namespace snapper

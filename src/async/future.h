@@ -7,17 +7,16 @@
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <coroutine>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <variant>
 #include <vector>
 
 #include "async/executor.h"
+#include "common/mutex.h"
 
 namespace snapper {
 
@@ -38,7 +37,7 @@ class FutureState {
   using V = WrapVoid<T>;
 
   bool ready() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return value_.index() != 0;
   }
 
@@ -59,14 +58,14 @@ class FutureState {
   bool TrySet(V v) {
     std::vector<std::function<void()>> conts;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (value_.index() != 0) return false;
       value_.template emplace<1>(std::move(v));
       conts.swap(continuations_);
       // Notify while holding mu_: a waiter in Wait() may own the last
       // external reference and destroy this state as soon as it returns, so
       // the condvar must not be touched after the lock is released.
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
     for (auto& c : conts) c();
     return true;
@@ -75,11 +74,11 @@ class FutureState {
   bool TrySetException(std::exception_ptr e) {
     std::vector<std::function<void()>> conts;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (value_.index() != 0) return false;
       value_.template emplace<2>(std::move(e));
       conts.swap(continuations_);
-      cv_.notify_all();  // under mu_; see TrySet
+      cv_.NotifyAll();  // under mu_; see TrySet
     }
     for (auto& c : conts) c();
     return true;
@@ -89,7 +88,7 @@ class FutureState {
   /// the resolving thread; post to a strand inside it if needed.
   void OnReady(std::function<void()> cb) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (value_.index() == 0) {
         continuations_.push_back(std::move(cb));
         return;
@@ -101,13 +100,13 @@ class FutureState {
   /// Blocks the calling thread until resolved. For client threads and tests
   /// only — never call on a pool worker.
   void Wait() const {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return value_.index() != 0; });
+    MutexLock lock(&mu_);
+    cv_.Wait(mu_, [this]() REQUIRES(mu_) { return value_.index() != 0; });
   }
 
   /// Requires ready(). Returns a copy of the value or rethrows.
   V Get() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     assert(value_.index() != 0);
     if (value_.index() == 2) std::rethrow_exception(std::get<2>(value_));
     return std::get<1>(value_);
@@ -116,27 +115,27 @@ class FutureState {
   /// Requires ready(). Moves the value out (single-consumer; for move-only
   /// payloads awaited exactly once) or rethrows.
   V Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     assert(value_.index() != 0);
     if (value_.index() == 2) std::rethrow_exception(std::get<2>(value_));
     return std::move(std::get<1>(value_));
   }
 
   bool has_exception() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return value_.index() == 2;
   }
 
   std::exception_ptr exception() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return value_.index() == 2 ? std::get<2>(value_) : nullptr;
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::variant<std::monostate, V, std::exception_ptr> value_;
-  std::vector<std::function<void()>> continuations_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::variant<std::monostate, V, std::exception_ptr> value_ GUARDED_BY(mu_);
+  std::vector<std::function<void()>> continuations_ GUARDED_BY(mu_);
 };
 
 template <typename T>

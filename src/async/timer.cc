@@ -13,18 +13,18 @@ TimerId TimerService::Schedule(std::chrono::microseconds delay,
   const auto deadline = Clock::now() + delay;
   TimerId id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return 0;
     id = next_id_++;
     timers_.emplace(id, Entry{deadline, std::move(fn)});
     by_deadline_.emplace(deadline, id);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return id;
 }
 
 bool TimerService::Cancel(TimerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = timers_.find(id);
   if (it == timers_.end()) return false;
   auto range = by_deadline_.equal_range(it->second.deadline);
@@ -40,27 +40,27 @@ bool TimerService::Cancel(TimerId id) {
 
 void TimerService::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       // fallthrough to join
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void TimerService::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     if (stopping_) return;
     if (by_deadline_.empty()) {
-      cv_.wait(lock);
+      cv_.Wait(mu_);
       continue;
     }
     const auto next = by_deadline_.begin()->first;
     if (Clock::now() < next) {
-      cv_.wait_until(lock, next);
+      cv_.WaitUntil(mu_, next);
       continue;
     }
     // Collect everything due, release the lock, fire.
@@ -75,9 +75,9 @@ void TimerService::Loop() {
         timers_.erase(it);
       }
     }
-    lock.unlock();
+    lock.Unlock();
     for (auto& fn : due) fn();
-    lock.lock();
+    lock.Lock();
   }
 }
 

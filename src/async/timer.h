@@ -4,14 +4,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "async/future.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace snapper {
@@ -48,12 +47,13 @@ class TimerService {
     std::function<void()> fn;
   };
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<TimerId, Entry> timers_;            // by id, for cancel
-  std::multimap<Clock::time_point, TimerId> by_deadline_;
-  TimerId next_id_ = 1;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  // by id, for cancel
+  std::map<TimerId, Entry> timers_ GUARDED_BY(mu_);
+  std::multimap<Clock::time_point, TimerId> by_deadline_ GUARDED_BY(mu_);
+  TimerId next_id_ GUARDED_BY(mu_) = 1;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "otxn/otxn_runtime.h"
 #include "snapper/snapper_runtime.h"
@@ -57,9 +56,9 @@ SnapperConfig ChaosConfig(uint64_t seed) {
 }
 
 struct Gate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
 };
 
 }  // namespace
@@ -116,15 +115,15 @@ ChaosReport RunSmallBankChaos(const ChaosOptions& options) {
   // from a leaked runtime cannot touch dead stack memory.
   auto gate = std::make_shared<Gate>();
   WhenAll(futures).OnReady([gate]() {
-    std::lock_guard<std::mutex> lock(gate->mu);
+    MutexLock lock(&gate->mu);
     gate->done = true;
-    gate->cv.notify_all();
+    gate->cv.NotifyAll();
   });
   {
-    std::unique_lock<std::mutex> lock(gate->mu);
-    const bool resolved = gate->cv.wait_for(
-        lock, std::chrono::duration<double>(options.watchdog_seconds),
-        [&gate]() { return gate->done; });
+    MutexLock lock(&gate->mu);
+    const bool resolved = gate->cv.WaitFor(
+        gate->mu, std::chrono::duration<double>(options.watchdog_seconds),
+        [&gate]() REQUIRES(gate->mu) { return gate->done; });
     if (!resolved) {
       for (const auto& f : futures) {
         if (!f.ready()) report.unresolved++;
@@ -288,9 +287,9 @@ void CopyFaultCounters(const MessageFaultInjector& faults,
 /// Waits for `gates` WhenAll arrivals with one deadline. Returns false on
 /// watchdog expiry.
 struct ArrivalGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  int remaining = 0;
+  Mutex mu;
+  CondVar cv;
+  int remaining GUARDED_BY(mu) = 0;
 };
 
 ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
@@ -346,18 +345,21 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   }
 
   auto gate = std::make_shared<ArrivalGate>();
-  gate->remaining = 2;
+  {
+    MutexLock lock(&gate->mu);
+    gate->remaining = 2;
+  }
   auto arrive = [gate]() {
-    std::lock_guard<std::mutex> lock(gate->mu);
-    if (--gate->remaining == 0) gate->cv.notify_all();
+    MutexLock lock(&gate->mu);
+    if (--gate->remaining == 0) gate->cv.NotifyAll();
   };
   WhenAll(futures).OnReady(arrive);
   WhenAll(kill_acks).OnReady(arrive);
   {
-    std::unique_lock<std::mutex> lock(gate->mu);
-    const bool resolved = gate->cv.wait_for(
-        lock, std::chrono::duration<double>(options.watchdog_seconds),
-        [&gate]() { return gate->remaining == 0; });
+    MutexLock lock(&gate->mu);
+    const bool resolved = gate->cv.WaitFor(
+        gate->mu, std::chrono::duration<double>(options.watchdog_seconds),
+        [&gate]() REQUIRES(gate->mu) { return gate->remaining == 0; });
     if (!resolved) {
       for (const auto& f : futures) {
         if (!f.ready()) report.unresolved++;
@@ -490,6 +492,7 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
   for (int i = 0; i < options.num_txns; ++i) {
     if (i == kill_at) {
       for (int k = 0; k < options.num_kills; ++k) {
+        // coro-lint: allow(discarded-task) — chaos kill is fire-and-forget
         rt->KillActor(ActorId{type, rng.Uniform(num_accounts)});
       }
     }
@@ -502,15 +505,15 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
 
   auto gate = std::make_shared<Gate>();
   WhenAll(futures).OnReady([gate]() {
-    std::lock_guard<std::mutex> lock(gate->mu);
+    MutexLock lock(&gate->mu);
     gate->done = true;
-    gate->cv.notify_all();
+    gate->cv.NotifyAll();
   });
   {
-    std::unique_lock<std::mutex> lock(gate->mu);
-    const bool resolved = gate->cv.wait_for(
-        lock, std::chrono::duration<double>(options.watchdog_seconds),
-        [&gate]() { return gate->done; });
+    MutexLock lock(&gate->mu);
+    const bool resolved = gate->cv.WaitFor(
+        gate->mu, std::chrono::duration<double>(options.watchdog_seconds),
+        [&gate]() REQUIRES(gate->mu) { return gate->done; });
     if (!resolved) {
       for (const auto& f : futures) {
         if (!f.ready()) report.unresolved++;
@@ -545,6 +548,7 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
   // WAL plus the TA's decision table. This also clears any residue of
   // dropped Commit/Abort messages (stale dirty-write stacks, stuck locks).
   for (int a = 0; a < num_accounts; ++a) {
+    // coro-lint: allow(discarded-task) — chaos kill is fire-and-forget
     rt->KillActor(ActorId{type, static_cast<uint64_t>(a)});
   }
 

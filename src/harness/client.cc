@@ -11,34 +11,37 @@
 namespace snapper::harness {
 
 bool PushPullQueue::Push(TxnRequest request) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || queue_.size() < capacity_; });
+  MutexLock lock(&mu_);
+  not_full_.Wait(mu_, [this]() REQUIRES(mu_) {
+    return closed_ || queue_.size() < capacity_;
+  });
   if (closed_) return false;
   queue_.push_back(std::move(request));
-  lock.unlock();
-  not_empty_.notify_one();
+  lock.Unlock();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool PushPullQueue::Pop(TxnRequest* request) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  MutexLock lock(&mu_);
+  not_empty_.Wait(mu_, [this]() REQUIRES(mu_) {
+    return closed_ || !queue_.empty();
+  });
   if (queue_.empty()) return false;  // closed and drained
   *request = std::move(queue_.front());
   queue_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
+  lock.Unlock();
+  not_full_.NotifyOne();
   return true;
 }
 
 void PushPullQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 namespace {
@@ -72,17 +75,17 @@ struct PendingRetry {
 class CompletionChannel {
  public:
   void Push(Completion completion) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(completion));
     // Notify under mu_: the client thread destroys this channel right after
     // its last Pop returns, so the condvar must not be signaled after the
     // lock is released.
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   Completion Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !queue_.empty(); });
+    MutexLock lock(&mu_);
+    cv_.Wait(mu_, [this]() REQUIRES(mu_) { return !queue_.empty(); });
     Completion c = std::move(queue_.front());
     queue_.pop_front();
     return c;
@@ -91,8 +94,9 @@ class CompletionChannel {
   /// Like Pop, but gives up at `deadline` (so the client thread can wake up
   /// to resubmit a backed-off retry). Returns false on timeout.
   bool PopUntil(Clock::time_point deadline, Completion* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_until(lock, deadline, [this] { return !queue_.empty(); })) {
+    MutexLock lock(&mu_);
+    if (!cv_.WaitUntil(mu_, deadline,
+                       [this]() REQUIRES(mu_) { return !queue_.empty(); })) {
       return false;
     }
     *out = std::move(queue_.front());
@@ -101,9 +105,9 @@ class CompletionChannel {
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Completion> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Completion> queue_ GUARDED_BY(mu_);
 };
 
 }  // namespace

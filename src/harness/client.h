@@ -7,12 +7,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
 
 #include "actor/actor.h"
 #include "common/rng.h"
@@ -75,11 +75,11 @@ class PushPullQueue {
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<TxnRequest> queue_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<TxnRequest> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// Runs the benchmark: spawns the producer and `config.num_clients` client

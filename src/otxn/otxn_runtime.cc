@@ -27,7 +27,7 @@ uint32_t MicrosBetween(TimePoint from, TimePoint to) {
 // ---------------------------------------------------------------------------
 
 uint64_t TransactionAgent::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_tid_++;
 }
 
@@ -35,7 +35,7 @@ Future<Status> TransactionAgent::WaitDecided(uint64_t tid) {
   Promise<Status> promise;
   auto future = promise.GetFuture();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = decided_.find(tid);
     if (it == decided_.end()) {
       waiters_[tid].push_back(std::move(promise));
@@ -54,7 +54,7 @@ Future<Status> TransactionAgent::WaitDecided(uint64_t tid) {
 void TransactionAgent::NotifyCommitted(uint64_t tid) {
   std::vector<Promise<Status>> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     decided_[tid] = State::kCommitted;
     auto it = waiters_.find(tid);
     if (it != waiters_.end()) {
@@ -68,7 +68,7 @@ void TransactionAgent::NotifyCommitted(uint64_t tid) {
 void TransactionAgent::NotifyAborted(uint64_t tid) {
   std::vector<Promise<Status>> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     decided_[tid] = State::kAborted;
     auto it = waiters_.find(tid);
     if (it != waiters_.end()) {
@@ -82,7 +82,7 @@ void TransactionAgent::NotifyAborted(uint64_t tid) {
 }
 
 uint64_t TransactionAgent::num_started() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_tid_ - 1;
 }
 
@@ -111,6 +111,7 @@ void OtxnActor::OnKill() {
 }
 
 Task<void> OtxnActor::Reactivate() {
+  DcheckOnStrand("Reactivate");
   auto& rt = ortx();
   if (rt.log_manager().enabled()) {
     // Logger FIFO barrier: appends to one logger complete in order, so once
@@ -168,7 +169,8 @@ Task<void> OtxnActor::Reactivate() {
   co_return;
 }
 
-Task<Value*> OtxnActor::GetState(TxnContext& ctx, AccessMode mode) {
+Task<Value*> OtxnActor::GetState(TxnContext& ctx, AccessMode mode) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
+  DcheckOnStrand("GetState");
   auto& rt = ortx();
   if (failed() || recovering_) {
     throw TxnAbort(Status::TxnAborted(
@@ -201,7 +203,7 @@ Task<Value*> OtxnActor::GetState(TxnContext& ctx, AccessMode mode) {
   co_return &state_;
 }
 
-Task<Value> OtxnActor::CallActor(TxnContext& ctx, const ActorId& target,
+Task<Value> OtxnActor::CallActor(TxnContext& ctx, const ActorId& target,  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
                                  FuncCall call) {
   // Issue-time registration: an abort must reach actors whose invocations
   // are still in flight (their tombstones then reject the late arrival).
@@ -229,6 +231,7 @@ Future<Value> OtxnActor::CallActorAsync(TxnContext& ctx, const ActorId& target,
 }
 
 Task<Value> OtxnActor::InvokeTxn(TxnContext ctx, FuncCall call) {
+  DcheckOnStrand("InvokeTxn");
   if (failed() || recovering_) {
     throw TxnAbort(Status::TxnAborted(
         AbortReason::kActorFailed, "actor " + id().ToString() + " unavailable"));
@@ -262,6 +265,7 @@ Task<Value> OtxnActor::InvokeTxn(TxnContext ctx, FuncCall call) {
 }
 
 Task<bool> OtxnActor::Prepare(uint64_t tid) {
+  DcheckOnStrand("Prepare");
   if (failed() || recovering_ || IsTombstoned(tid)) co_return false;
   if (txn_local_.find(tid) == txn_local_.end() && wrote_.count(tid) == 0 &&
       !lock_.IsHeldBy(tid)) {
@@ -285,6 +289,7 @@ Task<bool> OtxnActor::Prepare(uint64_t tid) {
 }
 
 Task<void> OtxnActor::Commit(uint64_t tid) {
+  DcheckOnStrand("Commit");
   for (auto it = write_stack_.begin(); it != write_stack_.end(); ++it) {
     if (it->tid == tid) {
       write_stack_.erase(it);
@@ -300,12 +305,17 @@ Task<void> OtxnActor::Commit(uint64_t tid) {
     record.type = LogRecordType::kActCommit;
     record.id = tid;
     record.actor = id();
+    // Fire-and-forget: the TA's decision table is the commit authority and
+    // recovery consults it (WaitDecided); this record is advisory, so a
+    // lost append degrades recovery speed, never correctness.
+    // coro-lint: allow(discarded-task)
     rt.log_manager().LoggerFor(id()).Append(std::move(record));
   }
   co_return;
 }
 
 Task<void> OtxnActor::Abort(uint64_t tid) {
+  DcheckOnStrand("Abort");
   Tombstone(tid);
   auto it = txn_local_.find(tid);
   if (it != txn_local_.end() && it->second.active > 0) {
@@ -371,21 +381,23 @@ void OtxnRuntime::Shutdown() { runtime_->Shutdown(); }
 
 void OtxnRuntime::KillActor(const ActorId& id) {
   {
-    std::lock_guard<std::mutex> lock(kill_mu_);
+    MutexLock lock(&kill_mu_);
     kill_marks_[id] = std::chrono::steady_clock::now();
   }
   counters_.actor_kills.fetch_add(1);
+  // coro-lint: allow(discarded-task) — ActorRuntime::KillActor returns
+  // bool; the Future-returning KillActor is SnapperRuntime's.
   runtime_->KillActor(id);
 }
 
 bool OtxnRuntime::IsActorKilled(const ActorId& id) const {
-  std::lock_guard<std::mutex> lock(kill_mu_);
+  MutexLock lock(&kill_mu_);
   return kill_marks_.count(id) > 0;
 }
 
 bool OtxnRuntime::ClearKillMark(
     const ActorId& id, std::chrono::steady_clock::time_point* killed_at) {
-  std::lock_guard<std::mutex> lock(kill_mu_);
+  MutexLock lock(&kill_mu_);
   auto it = kill_marks_.find(id);
   if (it == kill_marks_.end()) return false;
   *killed_at = it->second;

@@ -21,11 +21,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "actor/actor.h"
 #include "async/task.h"
@@ -62,11 +63,12 @@ class TransactionAgent {
   uint64_t num_started() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t next_tid_ = 1;
+  mutable Mutex mu_;
+  uint64_t next_tid_ GUARDED_BY(mu_) = 1;
   enum class State { kCommitted, kAborted };
-  std::unordered_map<uint64_t, State> decided_;
-  std::unordered_map<uint64_t, std::vector<Promise<Status>>> waiters_;
+  std::unordered_map<uint64_t, State> decided_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::vector<Promise<Status>>> waiters_
+      GUARDED_BY(mu_);
 };
 
 class OtxnRuntime;
@@ -199,8 +201,9 @@ class OtxnRuntime {
   TransactionAgent agent_;
   MessageCounters counters_;
   std::shared_ptr<Strand> ta_strand_;
-  mutable std::mutex kill_mu_;
-  std::map<ActorId, std::chrono::steady_clock::time_point> kill_marks_;
+  mutable Mutex kill_mu_;
+  std::map<ActorId, std::chrono::steady_clock::time_point> kill_marks_
+      GUARDED_BY(kill_mu_);
 };
 
 }  // namespace snapper::otxn

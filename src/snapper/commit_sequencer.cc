@@ -5,7 +5,7 @@
 namespace snapper {
 
 void CommitSequencer::RegisterEmitted(uint64_t bid, uint64_t prev_bid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   prev_of_[bid] = prev_bid;
 }
 
@@ -14,12 +14,12 @@ bool CommitSequencer::IsCommittedLocked(uint64_t bid) const {
 }
 
 bool CommitSequencer::IsCommitted(uint64_t bid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return IsCommittedLocked(bid);
 }
 
 bool CommitSequencer::IsAborted(uint64_t bid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return aborted_.count(bid) > 0;
 }
 
@@ -28,7 +28,7 @@ void CommitSequencer::RequestCommit(uint64_t bid,
   Status immediate;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (aborted_.count(bid) > 0) {
       immediate = Status::TxnAborted(AbortReason::kCascading, "batch aborted");
       fire = true;
@@ -53,7 +53,7 @@ void CommitSequencer::MarkCommitted(uint64_t bid) {
   std::vector<Promise<Status>> resolved;
   std::vector<Promise<Unit>> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     watermark_ = (watermark_ == kNoBid) ? bid : std::max(watermark_, bid);
     num_committed_++;
     committing_.erase(bid);
@@ -96,7 +96,7 @@ CommitSequencer::AbortOutcome CommitSequencer::BeginAbort(
   Promise<Unit> drain;
   outcome.committing_drained = drain.GetFuture();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [bid, _] : prev_of_) {
       aborted_.insert(bid);
       outcome.aborted_bids.push_back(bid);
@@ -141,7 +141,7 @@ Future<Status> CommitSequencer::WaitCommitted(uint64_t bid) {
   Promise<Status> promise;
   auto future = promise.GetFuture();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (aborted_.count(bid) > 0) {
       promise.TrySet(Status::TxnAborted(AbortReason::kCascading,
                                         "dependency batch aborted"));
@@ -157,17 +157,17 @@ Future<Status> CommitSequencer::WaitCommitted(uint64_t bid) {
 }
 
 uint64_t CommitSequencer::LastCommittedBid() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return watermark_;
 }
 
 uint64_t CommitSequencer::num_committed_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return num_committed_;
 }
 
 uint64_t CommitSequencer::num_aborted_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return aborted_.size();
 }
 

@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "async/future.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "snapper/txn_types.h"
 
@@ -77,24 +77,25 @@ class CommitSequencer {
   uint64_t num_aborted_batches() const;
 
  private:
-  bool IsCommittedLocked(uint64_t bid) const;
+  bool IsCommittedLocked(uint64_t bid) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Max committed bid; commits happen in bid order, so bid <= watermark_ &&
   /// !aborted means committed.
-  uint64_t watermark_ = kNoBid;
-  uint64_t num_committed_ = 0;
-  std::unordered_set<uint64_t> aborted_;
+  uint64_t watermark_ GUARDED_BY(mu_) = kNoBid;
+  uint64_t num_committed_ GUARDED_BY(mu_) = 0;
+  std::unordered_set<uint64_t> aborted_ GUARDED_BY(mu_);
   /// bid -> predecessor bid for emitted, undecided batches.
-  std::unordered_map<uint64_t, uint64_t> prev_of_;
+  std::unordered_map<uint64_t, uint64_t> prev_of_ GUARDED_BY(mu_);
   /// Batches whose commit callback fired but MarkCommitted hasn't run.
-  std::unordered_set<uint64_t> committing_;
+  std::unordered_set<uint64_t> committing_ GUARDED_BY(mu_);
   /// Pending commit requests: bid -> callback.
-  std::unordered_map<uint64_t, std::function<void(Status)>> pending_;
+  std::unordered_map<uint64_t, std::function<void(Status)>> pending_
+      GUARDED_BY(mu_);
   /// WaitCommitted futures keyed by bid (ordered: resolved up to watermark).
-  std::map<uint64_t, std::vector<Promise<Status>>> waiters_;
+  std::map<uint64_t, std::vector<Promise<Status>>> waiters_ GUARDED_BY(mu_);
   /// Set while an abort waits for `committing_` to drain.
-  std::vector<Promise<Unit>> drain_waiters_;
+  std::vector<Promise<Unit>> drain_waiters_ GUARDED_BY(mu_);
 };
 
 }  // namespace snapper

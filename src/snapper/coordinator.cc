@@ -216,7 +216,8 @@ Task<void> CoordinatorActor::LogAndEmitBatch(uint64_t bid) {
         p.SetException(std::make_exception_ptr(TxnAbort(aborted)));
       }
       batches_.erase(it);
-      ctx.abort_controller->RequestAbort(bid, s);  // fire-and-forget
+      // coro-lint: allow(discarded-task) — fire-and-forget abort round
+      ctx.abort_controller->RequestAbort(bid, s);
       co_return;
     }
   }
@@ -301,6 +302,7 @@ void CoordinatorActor::AbortStuckBatch(uint64_t bid, const Status& cause) {
     LogRecord record;
     record.type = LogRecordType::kBatchAbort;
     record.id = bid;
+    // coro-lint: allow(discarded-task) — fire-and-forget, see above
     ctx.log_manager->LoggerForCoordinator(index_).Append(std::move(record));
   }
 
@@ -310,7 +312,8 @@ void CoordinatorActor::AbortStuckBatch(uint64_t bid, const Status& cause) {
     p.SetException(std::make_exception_ptr(TxnAbort(cause)));
   }
   batches_.erase(it);
-  ctx.abort_controller->RequestAbort(bid, cause);  // fire-and-forget round
+  // coro-lint: allow(discarded-task) — fire-and-forget abort round
+  ctx.abort_controller->RequestAbort(bid, cause);
 }
 
 Task<void> CoordinatorActor::AckBatchComplete(uint64_t bid, ActorId from) {

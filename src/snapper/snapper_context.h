@@ -11,12 +11,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/value.h"
 
 #include "actor/actor.h"
@@ -65,13 +65,15 @@ class GlobalAbortController {
   void FinishRound();
 
   SnapperContext* ctx_;
-  std::mutex mu_;
-  bool running_ = false;
-  std::vector<Promise<Unit>> round_waiters_;
+  Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::vector<Promise<Unit>> round_waiters_ GUARDED_BY(mu_);
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> paused_{false};
   std::atomic<uint64_t> rounds_{0};
-  std::shared_ptr<Strand> strand_;
+  /// Lazily created on the first round; round starters copy the shared_ptr
+  /// out under mu_ before posting to it.
+  std::shared_ptr<Strand> strand_ GUARDED_BY(mu_);
 };
 
 struct SnapperContext {
@@ -96,24 +98,24 @@ struct SnapperContext {
   }
 
   void RegisterTransactionalActor(const ActorId& id) {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     transactional_actors_.insert(id);  // reactivations re-register: dedup
   }
 
   std::vector<ActorId> TransactionalActors() {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     return {transactional_actors_.begin(), transactional_actors_.end()};
   }
 
   /// Recovered per-actor states staged by RecoveryManager before Start();
   /// consumed by each actor on (re-)activation.
   void StageRecoveredStates(std::map<ActorId, Value> states) {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     recovered_states_ = std::move(states);
   }
 
   std::optional<Value> TakeRecoveredState(const ActorId& id) {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     auto it = recovered_states_.find(id);
     if (it == recovered_states_.end()) return std::nullopt;
     Value v = std::move(it->second);
@@ -127,7 +129,7 @@ struct SnapperContext {
   // second kill supersede a reactivation still in flight.
 
   uint64_t MarkActorKilled(const ActorId& id) {
-    std::lock_guard<std::mutex> lock(kill_mu_);
+    MutexLock lock(&kill_mu_);
     auto& mark = kill_marks_[id];
     mark.generation = ++kill_generation_;
     mark.killed_at = std::chrono::steady_clock::now();
@@ -135,7 +137,7 @@ struct SnapperContext {
   }
 
   bool IsActorKilled(const ActorId& id) const {
-    std::lock_guard<std::mutex> lock(kill_mu_);
+    MutexLock lock(&kill_mu_);
     return kill_marks_.count(id) > 0;
   }
 
@@ -143,7 +145,7 @@ struct SnapperContext {
   /// time (for the reactivation-latency counter) on success.
   bool ClearKillMark(const ActorId& id, uint64_t generation,
                      std::chrono::steady_clock::time_point* killed_at) {
-    std::lock_guard<std::mutex> lock(kill_mu_);
+    MutexLock lock(&kill_mu_);
     auto it = kill_marks_.find(id);
     if (it == kill_marks_.end() || it->second.generation != generation) {
       return false;
@@ -163,7 +165,7 @@ struct SnapperContext {
   enum class ActDecision { kUnknown, kCommitted, kAborted };
 
   void RecordActDecision(uint64_t tid, bool committed, uint64_t final_max_bs) {
-    std::lock_guard<std::mutex> lock(decision_mu_);
+    MutexLock lock(&decision_mu_);
     if (!act_decisions_.emplace(tid, std::make_pair(committed, final_max_bs))
              .second) {
       return;
@@ -178,7 +180,7 @@ struct SnapperContext {
   /// Returns the decision plus, for commits, the final max(BS) the root
   /// computed (participants need it to update their watermark).
   std::pair<ActDecision, uint64_t> LookupActDecision(uint64_t tid) const {
-    std::lock_guard<std::mutex> lock(decision_mu_);
+    MutexLock lock(&decision_mu_);
     auto it = act_decisions_.find(tid);
     if (it == act_decisions_.end()) return {ActDecision::kUnknown, 0};
     return {it->second.first ? ActDecision::kCommitted : ActDecision::kAborted,
@@ -192,17 +194,18 @@ struct SnapperContext {
   };
   static constexpr size_t kMaxActDecisions = 1 << 16;
 
-  std::mutex registry_mu_;
-  std::set<ActorId> transactional_actors_;
-  std::map<ActorId, Value> recovered_states_;
+  Mutex registry_mu_;
+  std::set<ActorId> transactional_actors_ GUARDED_BY(registry_mu_);
+  std::map<ActorId, Value> recovered_states_ GUARDED_BY(registry_mu_);
 
-  mutable std::mutex kill_mu_;
-  std::map<ActorId, KillMark> kill_marks_;
-  uint64_t kill_generation_ = 0;
+  mutable Mutex kill_mu_;
+  std::map<ActorId, KillMark> kill_marks_ GUARDED_BY(kill_mu_);
+  uint64_t kill_generation_ GUARDED_BY(kill_mu_) = 0;
 
-  mutable std::mutex decision_mu_;
-  std::map<uint64_t, std::pair<bool, uint64_t>> act_decisions_;
-  std::deque<uint64_t> act_decision_fifo_;
+  mutable Mutex decision_mu_;
+  std::map<uint64_t, std::pair<bool, uint64_t>> act_decisions_
+      GUARDED_BY(decision_mu_);
+  std::deque<uint64_t> act_decision_fifo_ GUARDED_BY(decision_mu_);
 };
 
 }  // namespace snapper

@@ -25,9 +25,11 @@ Future<Unit> GlobalAbortController::StartOrJoinRound(const uint64_t* bid,
                                                      const Status& cause) {
   Promise<Unit> promise;
   auto future = promise.GetFuture();
-  bool start_round = false;
+  // Copied out of strand_ under mu_; posting happens after the lock is
+  // released so the round's first turn never contends with joiners.
+  std::shared_ptr<Strand> round_strand;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) {
       if (bid != nullptr && (ctx_->sequencer.IsAborted(*bid) ||
                              ctx_->sequencer.IsCommitted(*bid))) {
@@ -40,14 +42,14 @@ Future<Unit> GlobalAbortController::StartOrJoinRound(const uint64_t* bid,
       // invocation of the old epoch is rejected from here on.
       epoch_.fetch_add(1, std::memory_order_acq_rel);
       rounds_.fetch_add(1);
-      start_round = true;
       if (!strand_) strand_ = ctx_->runtime->NewStrand();
+      round_strand = strand_;
     }
     round_waiters_.push_back(std::move(promise));
   }
-  if (start_round) {
+  if (round_strand) {
     Status cause_copy = cause;
-    strand_->Post([this, cause_copy]() {
+    round_strand->Post([this, cause_copy]() {
       RoundTask(cause_copy).StartInline();
     });
   }
@@ -79,7 +81,7 @@ Task<void> GlobalAbortController::RoundTask(Status cause) {
 void GlobalAbortController::FinishRound() {
   std::vector<Promise<Unit>> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     running_ = false;
     paused_.store(false, std::memory_order_release);
     waiters.swap(round_waiters_);
@@ -237,6 +239,8 @@ Future<Unit> SnapperRuntime::KillActor(const ActorId& id) {
   assert(started_);
   const uint64_t generation = context_.MarkActorKilled(id);
   context_.counters.actor_kills.fetch_add(1);
+  // coro-lint: allow(discarded-task) — ActorRuntime::KillActor returns
+  // bool; only SnapperRuntime's same-named method is a Future.
   runtime_->KillActor(id);
   // Coordinators abort in-flight batches naming the dead participant, with
   // a durable BatchAbort record, so the bid-ordered commit chain never

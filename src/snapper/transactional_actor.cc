@@ -55,12 +55,15 @@ void TransactionalActor::OnKill() {
   // everything parked on it must fail now so no caller blocks forever, and
   // the global abort round's quiesce must not wait on it.
   lock_.FailAllWaiters(status);
+  // coro-lint: allow(discarded-task) — LocalScheduleManager's
+  // AbortUncommitted returns void; only ours is a Task.
   schedule_.AbortUncommitted(status, [](uint64_t) { return false; });
   NotifyQuiesce();
 }
 
 Task<void> TransactionalActor::FinishReactivation(std::optional<Value> state,
                                                   uint64_t generation) {
+  DcheckOnStrand("FinishReactivation");
   std::chrono::steady_clock::time_point killed_at;
   if (!sctx().ClearKillMark(id(), generation, &killed_at)) {
     co_return;  // a newer kill superseded this reactivation
@@ -76,6 +79,7 @@ Task<void> TransactionalActor::FinishReactivation(std::optional<Value> state,
 }
 
 void TransactionalActor::LoadRecoveredState(Value state) {
+  DcheckOnStrand("LoadRecoveredState");
   state_ = state;
   committed_state_ = std::move(state);
 }
@@ -96,7 +100,8 @@ Status TransactionalActor::StatusFromException(std::exception_ptr e) {
 // User-facing API
 // ---------------------------------------------------------------------------
 
-Task<Value*> TransactionalActor::GetState(TxnContext& ctx, AccessMode mode) {
+Task<Value*> TransactionalActor::GetState(TxnContext& ctx, AccessMode mode) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
+  DcheckOnStrand("GetState");
   if (failed() || recovering_) {
     // A zombie activation (or one whose durable state is not reinstalled
     // yet) must never hand out a state pointer.
@@ -142,8 +147,8 @@ Task<Value*> TransactionalActor::GetState(TxnContext& ctx, AccessMode mode) {
   co_return &state_;  // unreachable
 }
 
-Task<Value> TransactionalActor::CallActor(TxnContext& ctx,
-                                          const ActorId& target,
+Task<Value> TransactionalActor::CallActor(TxnContext& ctx,  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
+                                          const ActorId& target,  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
                                           FuncCall call) {
   // Register the callee at issue time, not arrival time: if the transaction
   // aborts while this call is still in flight, the root must know to send
@@ -184,6 +189,7 @@ Future<Value> TransactionalActor::CallActorAsync(TxnContext& ctx,
 // ---------------------------------------------------------------------------
 
 Task<Value> TransactionalActor::InvokeTxn(TxnContext ctx, FuncCall call) {
+  DcheckOnStrand("InvokeTxn");
   if (failed() || recovering_) {
     const Status st = Status::TxnAborted(
         AbortReason::kActorFailed, "actor " + id().ToString() + " unavailable");
@@ -191,6 +197,7 @@ Task<Value> TransactionalActor::InvokeTxn(TxnContext ctx, FuncCall call) {
       // A PACT invocation landing on a dead/recovering activation can never
       // complete its access; abort the batch deterministically instead of
       // silently dropping it (the global schedule must not hang on us).
+      // coro-lint: allow(discarded-task) — fire-and-forget abort round
       sctx().abort_controller->RequestAbort(ctx.bid, st);
     }
     throw TxnAbort(st);
@@ -221,7 +228,7 @@ Task<Value> TransactionalActor::InvokeTxn(TxnContext ctx, FuncCall call) {
 }
 
 Task<Value> TransactionalActor::InvokePact(TxnContext ctx,
-                                           const Method& method, Value input) {
+                                           const Method& method, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   Status turn = co_await schedule_.WaitPactTurn(ctx.bid, ctx.tid);
   if (!turn.ok()) throw TxnAbort(turn);
 
@@ -245,6 +252,7 @@ Task<Value> TransactionalActor::InvokePact(TxnContext ctx,
           cause.abort_reason() == AbortReason::kCascading)) {
       // Fire-and-forget: awaiting the round here would deadlock the
       // quiesce phase (this invocation is still active).
+      // coro-lint: allow(discarded-task)
       sctx().abort_controller->RequestAbort(ctx.bid, cause);
     }
     active_invocations_--;
@@ -259,7 +267,7 @@ Task<Value> TransactionalActor::InvokePact(TxnContext ctx,
   co_return result;
 }
 
-Task<Value> TransactionalActor::InvokeAct(TxnContext ctx, const Method& method,
+Task<Value> TransactionalActor::InvokeAct(TxnContext ctx, const Method& method,  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
                                           Value input) {
   assert(ctx.info != nullptr && "ACT context without SharedTxnInfo");
   if (IsTombstonedAct(ctx.tid)) {
@@ -456,7 +464,7 @@ Task<TxnResult> TransactionalActor::StartNt(FuncCall call) {
 // ---------------------------------------------------------------------------
 
 Task<Status> TransactionalActor::CommitActAsRoot(uint64_t tid, uint64_t epoch,
-                                                 const TxnExeInfo& info) {
+                                                 const TxnExeInfo& info) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   auto& ctx = sctx();
   const uint64_t max_bs = info.MaxBeforeSet();
 
@@ -567,7 +575,7 @@ Task<Status> TransactionalActor::CommitActAsRoot(uint64_t tid, uint64_t epoch,
 }
 
 Task<void> TransactionalActor::AbortActAsRoot(uint64_t tid,
-                                              const TxnExeInfo& info) {
+                                              const TxnExeInfo& info) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   auto& ctx = sctx();
   // Record the abort before fanning out: a participant whose ActAbort
   // message is lost re-resolves from this table (presumed abort anyway).
@@ -602,6 +610,7 @@ Task<bool> TransactionalActor::ActPrepare(uint64_t tid, uint64_t epoch) {
 }
 
 Task<bool> TransactionalActor::PrepareActLocal(uint64_t tid) {
+  DcheckOnStrand("PrepareActLocal");
   if (aborting_ || failed() || recovering_) co_return false;
   auto local = act_local_.find(tid);
   if (local == act_local_.end() && !lock_.IsHeldBy(tid)) {
@@ -679,6 +688,7 @@ Task<void> TransactionalActor::ActCommit(uint64_t tid, uint64_t final_max_bs) {
 }
 
 void TransactionalActor::CommitActLocal(uint64_t tid, uint64_t final_max_bs) {
+  DcheckOnStrand("CommitActLocal");
   const uint64_t seq = schedule_.ActSeq(tid);
   if (seq == LocalSchedule::kNoSeq || seq >= last_committed_seq_) {
     committed_state_ = state_;
@@ -694,6 +704,7 @@ void TransactionalActor::CommitActLocal(uint64_t tid, uint64_t final_max_bs) {
     record.actor = id();
     // Fire-and-forget: the commit decision is already durable at the 2PC
     // coordinator (CoordCommit); this record only speeds up recovery.
+    // coro-lint: allow(discarded-task)
     ctx.log_manager->LoggerFor(id()).Append(std::move(record));
   }
 
@@ -720,6 +731,7 @@ void TransactionalActor::TombstoneAct(uint64_t tid) {
 }
 
 void TransactionalActor::AbortActLocal(uint64_t tid) {
+  DcheckOnStrand("AbortActLocal");
   TombstoneAct(tid);  // blocks late re-registration and new state access
   auto local = act_local_.find(tid);
   if (local != act_local_.end() && local->second.active > 0) {
@@ -751,11 +763,13 @@ void TransactionalActor::DoAbortActLocal(uint64_t tid) {
 // ---------------------------------------------------------------------------
 
 Task<void> TransactionalActor::ReceiveBatch(BatchMsg msg) {
+  DcheckOnStrand("ReceiveBatch");
   if (failed() || recovering_) {
     // The sub-batch can never complete here. Request a deterministic abort
     // of the batch instead of dropping the message: dropping would leave
     // the coordinator waiting for an ack that never comes (a hang when the
     // batch deadline is disabled).
+    // coro-lint: allow(discarded-task) — fire-and-forget abort round
     sctx().abort_controller->RequestAbort(
         msg.bid,
         Status::TxnAborted(AbortReason::kActorFailed,
@@ -806,7 +820,8 @@ Task<void> TransactionalActor::LogAndAckSubBatch(uint64_t bid, bool wrote) {
       // without it the batch (and every successor chained behind it) would
       // hang forever. Fail the batch through a global abort round; the
       // round resolves the pending client futures with the abort status.
-      ctx.abort_controller->RequestAbort(bid, ls);  // fire-and-forget
+      // coro-lint: allow(discarded-task) — fire-and-forget abort round
+      ctx.abort_controller->RequestAbort(bid, ls);
       co_return;
     }
   }
@@ -826,6 +841,7 @@ Task<void> TransactionalActor::LogAndAckSubBatch(uint64_t bid, bool wrote) {
 }
 
 Task<void> TransactionalActor::ReceiveBatchCommit(uint64_t bid) {
+  DcheckOnStrand("ReceiveBatchCommit");
   auto it = pact_snapshots_.find(bid);
   if (it != pact_snapshots_.end()) {
     if (it->second.seq >= last_committed_seq_) {
@@ -858,6 +874,7 @@ void TransactionalActor::NotifyQuiesce() {
 }
 
 Task<void> TransactionalActor::AbortUncommitted(Status status) {
+  DcheckOnStrand("AbortUncommitted");
   aborting_ = true;
   auto& ctx = sctx();
   auto* sequencer = &ctx.sequencer;

@@ -9,13 +9,13 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "actor/actor.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -156,12 +156,12 @@ class SharedTxnInfo {
  public:
   /// Records that `actor` executed (part of) the transaction.
   void RegisterParticipant(const ActorId& actor) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     info_.participants.try_emplace(actor);
   }
 
   void MarkWrote(const ActorId& actor) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     info_.participants[actor].wrote = true;
   }
 
@@ -169,7 +169,7 @@ class SharedTxnInfo {
   /// (§4.4.3): overwrites earlier observations for the same actor.
   void SetScheduleObservation(const ActorId& actor, uint64_t before_bid,
                               uint64_t after_bid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto& p = info_.participants[actor];
     p.before_bid = before_bid;
     p.after_bid = after_bid;
@@ -177,30 +177,37 @@ class SharedTxnInfo {
 
   /// Root-side copy for the serializability check and 2PC.
   TxnExeInfo Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return info_;
   }
 
   /// Commit dependency on an uncommitted writer (used by the OrleansTxn
   /// baseline's early lock release; unused by Snapper's own protocols).
   void AddDependency(uint64_t tid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     deps_.insert(tid);
   }
 
   std::set<uint64_t> Dependencies() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return deps_;
   }
 
  private:
-  mutable std::mutex mu_;
-  TxnExeInfo info_;
-  std::set<uint64_t> deps_;
+  mutable Mutex mu_;
+  TxnExeInfo info_ GUARDED_BY(mu_);
+  std::set<uint64_t> deps_ GUARDED_BY(mu_);
 };
 
 /// The read-only context generated by Snapper for each transaction and
 /// passed through every transactional API call (paper §3.2.2).
+///
+/// Coroutine methods take `TxnContext&` by design even though clang-tidy's
+/// cppcoreguidelines-avoid-reference-coroutine-parameters flags reference
+/// coroutine parameters: every call site is structured (`co_await`ed to
+/// completion by the frame that owns the context), so the reference always
+/// outlives the callee. Those signatures carry a NOLINT referencing this
+/// note; a *detached* coroutine must copy the context instead.
 struct TxnContext {
   uint64_t tid = 0;
   uint64_t bid = kNoBid;  ///< PACT only: owning batch.

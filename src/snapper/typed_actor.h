@@ -91,7 +91,7 @@ class TypedTransactionalActor : public TransactionalActor {
   }
 
   /// Typed counterpart of GetState. Same blocking/abort semantics.
-  Task<StateHandle<TState>> GetTypedState(TxnContext& ctx, AccessMode mode) {
+  Task<StateHandle<TState>> GetTypedState(TxnContext& ctx, AccessMode mode) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* slot = co_await GetState(ctx, mode);
     co_return StateHandle<TState>(slot, mode);
   }

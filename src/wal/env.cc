@@ -143,7 +143,7 @@ class MemWritableFile : public WritableFile {
       : state_(std::move(state)), env_(env) {}
 
   Status Append(std::string_view data) override {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     state_->unsynced.append(data.data(), data.size());
     return Status::OK();
   }
@@ -154,7 +154,7 @@ class MemWritableFile : public WritableFile {
       // Simulated device latency (blocks the caller, like fdatasync).
       std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
     }
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     state_->synced.append(state_->unsynced);
     state_->unsynced.clear();
     return Status::OK();
@@ -171,7 +171,7 @@ class MemWritableFile : public WritableFile {
 
 Status MemEnv::NewWritableFile(const std::string& name,
                                std::unique_ptr<WritableFile>* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto state = std::make_shared<FileState>();
   files_[name] = state;
   *file = std::make_unique<MemWritableFile>(std::move(state), this);
@@ -181,47 +181,47 @@ Status MemEnv::NewWritableFile(const std::string& name,
 Status MemEnv::ReadFile(const std::string& name, std::string* out) {
   std::shared_ptr<FileState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     state = it->second;
   }
   // Reads observe only durable content, matching post-crash recovery.
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(&state->mu);
   *out = state->synced;
   return Status::OK();
 }
 
 Status MemEnv::DeleteFile(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   files_.erase(name);
   return Status::OK();
 }
 
 bool MemEnv::FileExists(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(name) > 0;
 }
 
 std::vector<std::string> MemEnv::ListFiles() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [name, _] : files_) out.push_back(name);
   return out;
 }
 
 void MemEnv::CrashAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [_, state] : files_) {
-    std::lock_guard<std::mutex> flock(state->mu);
+    MutexLock flock(&state->mu);
     state->unsynced.clear();
   }
 }
 
 void MemEnv::CrashAllTorn(size_t tear_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [_, state] : files_) {
-    std::lock_guard<std::mutex> flock(state->mu);
+    MutexLock flock(&state->mu);
     state->unsynced.clear();
     const size_t cut = std::min(tear_bytes, state->synced.size());
     state->synced.resize(state->synced.size() - cut);
@@ -229,10 +229,10 @@ void MemEnv::CrashAllTorn(size_t tear_bytes) {
 }
 
 size_t MemEnv::TotalSyncedBytes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& [_, state] : files_) {
-    std::lock_guard<std::mutex> flock(state->mu);
+    MutexLock flock(&state->mu);
     total += state->synced.size();
   }
   return total;

@@ -8,11 +8,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace snapper {
@@ -94,14 +94,14 @@ class MemEnv : public Env {
   /// detail in env.cc) can share it. Guarded by its own mutex because
   /// CrashAll() may race with concurrent appends from logger strands.
   struct FileState {
-    std::mutex mu;
-    std::string synced;
-    std::string unsynced;
+    Mutex mu;
+    std::string synced GUARDED_BY(mu);
+    std::string unsynced GUARDED_BY(mu);
   };
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<FileState>> files_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_ GUARDED_BY(mu_);
   std::atomic<int64_t> sync_latency_us_{0};
 };
 

@@ -13,7 +13,7 @@ class FaultWritableFile : public WritableFile {
   Status Append(std::string_view data) override {
     Status s = env_->CheckFault(FaultInjectionEnv::Op::kAppend);
     if (!s.ok()) return s;
-    std::lock_guard<std::mutex> lock(rec_->mu);
+    MutexLock lock(&rec_->mu);
     if (rec_->lost) return Status::IOError("handle invalidated by crash");
     rec_->unsynced.append(data.data(), data.size());
     return Status::OK();
@@ -21,7 +21,7 @@ class FaultWritableFile : public WritableFile {
 
   Status Sync() override {
     Status s = env_->CheckFault(FaultInjectionEnv::Op::kSync);
-    std::lock_guard<std::mutex> lock(rec_->mu);
+    MutexLock lock(&rec_->mu);
     if (!s.ok()) {
       // The device drops its cache on a failed sync: the pending tail is
       // certainly not durable and must never resurface (see fault_env.h).
@@ -42,7 +42,7 @@ class FaultWritableFile : public WritableFile {
   }
 
   Status Close() override {
-    std::lock_guard<std::mutex> lock(rec_->mu);
+    MutexLock lock(&rec_->mu);
     if (rec_->lost || !rec_->base) return Status::OK();
     return rec_->base->Close();
   }
@@ -55,7 +55,7 @@ class FaultWritableFile : public WritableFile {
 }  // namespace
 
 Status FaultInjectionEnv::CheckFault(Op op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t i = static_cast<size_t>(op);
   op_counts_[i]++;
   if (device_failed_) {
@@ -83,11 +83,11 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& name,
   rec->name = name;
   s = base_->NewWritableFile(name, &rec->base);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it != files_.end()) {
     // Recreating truncates: detach the previous incarnation's handle.
-    std::lock_guard<std::mutex> flock(it->second->mu);
+    MutexLock flock(&it->second->mu);
     it->second->lost = true;
   }
   files_[name] = rec;
@@ -101,10 +101,10 @@ Status FaultInjectionEnv::ReadFile(const std::string& name, std::string* out) {
 
 Status FaultInjectionEnv::DeleteFile(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it != files_.end()) {
-      std::lock_guard<std::mutex> flock(it->second->mu);
+      MutexLock flock(&it->second->mu);
       it->second->lost = true;
       files_.erase(it);
     }
@@ -121,30 +121,30 @@ std::vector<std::string> FaultInjectionEnv::ListFiles() {
 }
 
 void FaultInjectionEnv::FailNth(Op op, uint64_t n, bool sticky) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t i = static_cast<size_t>(op);
   fail_at_[i] = op_counts_[i] + n;
   fail_sticky_[i] = sticky;
 }
 
 void FaultInjectionEnv::FailProbabilistically(double p, uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fault_p_ = p;
   rng_ = Rng(seed);
 }
 
 void FaultInjectionEnv::SetDeviceFailed(bool failed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   device_failed_ = failed;
 }
 
 bool FaultInjectionEnv::device_failed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return device_failed_;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_at_.fill(0);
   fail_sticky_.fill(false);
   fault_p_ = 0;
@@ -152,26 +152,26 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 uint64_t FaultInjectionEnv::ops(Op op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return op_counts_[static_cast<size_t>(op)];
 }
 
 uint64_t FaultInjectionEnv::total_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (uint64_t c : op_counts_) total += c;
   return total;
 }
 
 uint64_t FaultInjectionEnv::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return faults_;
 }
 
 Status FaultInjectionEnv::Crash(size_t tear_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, rec] : files_) {
-    std::lock_guard<std::mutex> flock(rec->mu);
+    MutexLock flock(&rec->mu);
     rec->unsynced.clear();
     rec->base.reset();
     rec->lost = true;

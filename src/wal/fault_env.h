@@ -30,9 +30,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "wal/env.h"
 
@@ -82,12 +82,14 @@ class FaultInjectionEnv : public Env {
   /// Internal per-file state; public so the file handle (an implementation
   /// detail in fault_env.cc) can share it, like MemEnv::FileState.
   struct FileRec {
-    std::mutex mu;
-    std::string name;
-    std::string synced;    ///< mirror of the base file's durable content
-    std::string unsynced;  ///< buffered appends not yet forwarded to base
-    std::unique_ptr<WritableFile> base;
-    bool lost = false;  ///< handle invalidated by Crash()
+    Mutex mu;
+    std::string name;  ///< immutable after creation
+    /// mirror of the base file's durable content
+    std::string synced GUARDED_BY(mu);
+    /// buffered appends not yet forwarded to base
+    std::string unsynced GUARDED_BY(mu);
+    std::unique_ptr<WritableFile> base GUARDED_BY(mu);
+    bool lost GUARDED_BY(mu) = false;  ///< handle invalidated by Crash()
   };
 
   /// Internal: counts the operation and decides whether to inject a fault.
@@ -96,15 +98,15 @@ class FaultInjectionEnv : public Env {
 
  private:
   Env* base_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<FileRec>> files_;
-  std::array<uint64_t, kNumOps> op_counts_{};
-  std::array<uint64_t, kNumOps> fail_at_{};  ///< 0 = unarmed
-  std::array<bool, kNumOps> fail_sticky_{};
-  bool device_failed_ = false;
-  double fault_p_ = 0;
-  Rng rng_{0};
-  uint64_t faults_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<FileRec>> files_ GUARDED_BY(mu_);
+  std::array<uint64_t, kNumOps> op_counts_ GUARDED_BY(mu_){};
+  std::array<uint64_t, kNumOps> fail_at_ GUARDED_BY(mu_){};  ///< 0 = unarmed
+  std::array<bool, kNumOps> fail_sticky_ GUARDED_BY(mu_){};
+  bool device_failed_ GUARDED_BY(mu_) = false;
+  double fault_p_ GUARDED_BY(mu_) = 0;
+  Rng rng_ GUARDED_BY(mu_){0};
+  uint64_t faults_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace snapper

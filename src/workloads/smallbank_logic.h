@@ -116,19 +116,19 @@ class SmallBankLogic : public Base {
   }
 
  private:
-  Task<Value> Balance(TxnContext& ctx, Value input) {
+  Task<Value> Balance(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kRead);
     co_return Value(Checking(*state) + Savings(*state));
   }
 
-  Task<Value> DepositChecking(TxnContext& ctx, Value input) {
+  Task<Value> DepositChecking(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double amount = input["amount"].AsDouble();
     SetChecking(*state, Checking(*state) + amount);
     co_return Value(Checking(*state));
   }
 
-  Task<Value> TransactSaving(TxnContext& ctx, Value input) {
+  Task<Value> TransactSaving(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double amount = input["amount"].AsDouble();
     const double updated = Savings(*state) + amount;
@@ -140,7 +140,7 @@ class SmallBankLogic : public Base {
     co_return Value(updated);
   }
 
-  Task<Value> WriteCheck(TxnContext& ctx, Value input) {
+  Task<Value> WriteCheck(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double amount = input["amount"].AsDouble();
     double checking = Checking(*state);
@@ -150,7 +150,7 @@ class SmallBankLogic : public Base {
     co_return Value(checking);
   }
 
-  Task<Value> Amalgamate(TxnContext& ctx, Value input) {
+  Task<Value> Amalgamate(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double total = Checking(*state) + Savings(*state);
     SetChecking(*state, 0.0);
@@ -164,7 +164,7 @@ class SmallBankLogic : public Base {
     co_return Value();
   }
 
-  Task<Value> MultiTransfer(TxnContext& ctx, Value input) {
+  Task<Value> MultiTransfer(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double amount = input["amount"].AsDouble();
     const ValueList& tos = input["to"].AsList();
@@ -196,7 +196,7 @@ class SmallBankLogic : public Base {
   /// deposits are performed *sequentially in ascending actor order*, so all
   /// transactions acquire locks in one global order. Generators pair it with
   /// `from == min(actors)`.
-  Task<Value> MultiTransferOrdered(TxnContext& ctx, Value input) {
+  Task<Value> MultiTransferOrdered(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double amount = input["amount"].AsDouble();
     ValueList tos = input["to"].AsList();
@@ -221,13 +221,13 @@ class SmallBankLogic : public Base {
     co_return Value(Checking(*state));
   }
 
-  Task<Value> NoOp(TxnContext& ctx, Value input) {
+  Task<Value> NoOp(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     // Deliberately no GetState: a no-op participant performs a grain call
     // but stays out of locking, logging, and the commit protocol (§5.2.3).
     co_return Value();
   }
 
-  Task<Value> MultiTransferMixed(TxnContext& ctx, Value input) {
+  Task<Value> MultiTransferMixed(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     const double amount = input["amount"].AsDouble();
     const ValueList& rw = input["to"].AsList();

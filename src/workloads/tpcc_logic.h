@@ -106,7 +106,7 @@ class WarehouseLogic : public Base {
   }
 
  private:
-  Task<Value> ReadWarehouse(TxnContext& ctx, Value input) {
+  Task<Value> ReadWarehouse(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kRead);
     co_return (*state)["w_tax"];
   }
@@ -140,7 +140,7 @@ class DistrictLogic : public Base {
   //         "types": {"warehouse","stock","item","customer","order"}}
   Task<Value> NewOrder(TxnContext& ctx, Value input);
 
-  Task<Value> ReadDistrict(TxnContext& ctx, Value input) {
+  Task<Value> ReadDistrict(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kRead);
     co_return *state;
   }
@@ -162,7 +162,7 @@ class StockPartitionLogic : public Base {
 
  private:
   // Input: {"items": [{"item": id, "qty": q}...]} -> total quantity left.
-  Task<Value> UpdateStock(TxnContext& ctx, Value input) {
+  Task<Value> UpdateStock(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     ValueMap& stock = state->AsMap()["stock"].AsMap();
     int64_t total_left = 0;
@@ -196,7 +196,7 @@ class ItemPartitionLogic : public Base {
 
  private:
   // Input: {"items": [ids]} -> {"prices": [doubles]}
-  Task<Value> ReadItems(TxnContext& ctx, Value input) {
+  Task<Value> ReadItems(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     co_await this->GetState(ctx, AccessMode::kRead);
     ValueList prices;
     for (const Value& item : input["items"].AsList()) {
@@ -221,7 +221,7 @@ class CustomerPartitionLogic : public Base {
 
  private:
   // Input: {"w": warehouse, "d": district, "c": customer} -> discount.
-  Task<Value> ReadCustomer(TxnContext& ctx, Value input) {
+  Task<Value> ReadCustomer(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     co_await this->GetState(ctx, AccessMode::kRead);
     co_return Value(CustomerDiscount(
         static_cast<uint64_t>(input["w"].AsInt()),
@@ -248,7 +248,7 @@ class OrderPartitionLogic : public Base {
 
  private:
   // Input: {"o_id", "d", "c", "ol_cnt"} -> total orders in partition.
-  Task<Value> InsertOrder(TxnContext& ctx, Value input) {
+  Task<Value> InsertOrder(TxnContext& ctx, Value input) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
     Value* state = co_await this->GetState(ctx, AccessMode::kReadWrite);
     ValueMap& m = state->AsMap();
     ValueList& orders = m["orders"].AsList();

@@ -1,0 +1,79 @@
+// Tests for the SNAPPER_DCHECK_ON_STRAND runtime strand-affinity checks
+// (DESIGN.md "Concurrency discipline", tier 1). This target compiles with
+// SNAPPER_DCHECK_ON_STRAND defined (see tests/CMakeLists.txt), so the
+// header-inline ActorBase::DcheckOnStrand is armed here even though the
+// library build may leave it off.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "actor/actor.h"
+#include "tests/common/watchdog.h"
+
+namespace snapper {
+namespace {
+
+#ifndef SNAPPER_DCHECK_ON_STRAND
+#error "strand_check_test must be compiled with SNAPPER_DCHECK_ON_STRAND"
+#endif
+
+class ProbeActor : public ActorBase {
+ public:
+  explicit ProbeActor(uint64_t) {}
+
+  /// Runs the check from a turn on the owning strand — must not abort.
+  void CheckedTouch() { DcheckOnStrand("CheckedTouch"); }
+};
+
+struct Fixture {
+  Fixture() : runtime(ActorRuntime::Options{.num_workers = 2}) {
+    type = runtime.RegisterType("probe", [](uint64_t key) {
+      return std::make_shared<ProbeActor>(key);
+    });
+  }
+  ActorRuntime runtime;
+  uint32_t type = 0;
+};
+
+TEST(StrandCheckTest, OnStrandPasses) {
+  Fixture f;
+  auto actor = f.runtime.Get<ProbeActor>({f.type, 1});
+  Promise<int> done;
+  auto future = done.GetFuture();
+  actor->strand().Post([actor, done]() {
+    actor->CheckedTouch();  // on the owning strand: silent
+    done.Set(1);
+  });
+  ASSERT_TRUE(testing::WaitResolved(future, 20.0));
+}
+
+TEST(StrandCheckTest, ForeignStrandDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Fixture f;
+  auto victim = f.runtime.Get<ProbeActor>({f.type, 1});
+  auto other = f.runtime.Get<ProbeActor>({f.type, 2});
+  // Run victim's check from a turn of ANOTHER actor's strand: a worker
+  // thread is executing a strand, just not the right one.
+  EXPECT_DEATH(
+      {
+        Promise<int> done;
+        auto future = done.GetFuture();
+        other->strand().Post([victim, done]() {
+          victim->CheckedTouch();
+          done.Set(1);
+        });
+        testing::WaitResolved(future, 20.0);
+      },
+      "SNAPPER_DCHECK_ON_STRAND violation");
+}
+
+TEST(StrandCheckTest, PlainThreadDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Fixture f;
+  auto actor = f.runtime.Get<ProbeActor>({f.type, 1});
+  // No strand at all: Strand::Current() is null on the main thread.
+  EXPECT_DEATH(actor->CheckedTouch(), "SNAPPER_DCHECK_ON_STRAND violation");
+}
+
+}  // namespace
+}  // namespace snapper

@@ -11,13 +11,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "async/future.h"
+#include "common/mutex.h"
 
 namespace snapper::testing {
 
@@ -27,23 +26,25 @@ namespace snapper::testing {
 template <typename T>
 size_t WaitAllResolved(const std::vector<Future<T>>& futures, double seconds) {
   struct Gate {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
   };
   auto gate = std::make_shared<Gate>();
   // WhenAll copies the futures, and the lambda holds only the shared gate:
   // a late completion after expiry touches neither this frame nor the
   // caller's vector.
   WhenAll(futures).OnReady([gate]() {
-    std::lock_guard<std::mutex> lock(gate->mu);
+    MutexLock lock(&gate->mu);
     gate->done = true;
-    gate->cv.notify_all();
+    // Notify under mu: the waiter's frame (and the gate's last reference)
+    // can unwind the instant the wait observes done.
+    gate->cv.NotifyAll();
   });
-  std::unique_lock<std::mutex> lock(gate->mu);
-  const bool resolved =
-      gate->cv.wait_for(lock, std::chrono::duration<double>(seconds),
-                        [&gate]() { return gate->done; });
+  MutexLock lock(&gate->mu);
+  const bool resolved = gate->cv.WaitFor(
+      gate->mu, std::chrono::duration<double>(seconds),
+      [&gate]() REQUIRES(gate->mu) { return gate->done; });
   if (resolved) return 0;
   size_t unresolved = 0;
   for (const auto& f : futures) {

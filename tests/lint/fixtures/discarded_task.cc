@@ -1,0 +1,50 @@
+// coro_lint fixture: discarded-task.
+// Markers sit on the reported statement line. The rule keys off names
+// declared with Task<...> / Future<...> return types anywhere in the lint
+// run, so the declarations below are the corpus' "type information".
+#include "async/future.h"
+#include "async/task.h"
+
+namespace fixture {
+
+Task<void> DoThing();
+Future<int> FetchIt();
+
+struct Service {
+  Task<int> Compute(int x);
+  Strand* strand_;
+
+  void Caller() {
+    DoThing();  // EXPECT-LINT: discarded-task
+
+    FetchIt();  // EXPECT-LINT: discarded-task
+
+    Compute(7);  // EXPECT-LINT: discarded-task
+
+    // OK: result bound to a variable.
+    auto pending = FetchIt();
+    (void)pending;
+
+    // OK: consumed via Start — the task runs; dropping the result Future
+    // is the explicit fire-and-forget idiom.
+    Compute(7).Start(*strand_);
+
+    // OK: suppressed with a reason.
+    // coro-lint: allow(discarded-task) — fixture demonstrates suppression
+    DoThing();
+  }
+
+  Task<int> Await() {
+    // OK: awaited.
+    co_await DoThing();
+    int v = co_await Compute(1);
+    co_return v;
+  }
+
+  Task<int> Forward() {
+    // OK: returned to the caller.
+    return Compute(2);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,58 @@
+// coro_lint fixture: lock-across-await.
+// Markers sit on the reported co_await line.
+#include <mutex>
+
+#include "async/task.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+struct Guarded {
+  Mutex mu_;
+  std::mutex raw_mu_;
+  int value_ = 0;
+
+  Task<void> Tick();
+
+  Task<void> BadHeldAcross() {
+    MutexLock lock(&mu_);
+    value_++;
+    co_await Tick();  // EXPECT-LINT: lock-across-await
+  }
+
+  Task<void> BadStdGuardNestedScope() {
+    std::lock_guard<std::mutex> guard(raw_mu_);
+    if (value_ > 0) {
+      co_await Tick();  // EXPECT-LINT: lock-across-await
+    }
+  }
+
+  Task<void> BadRearmedAfterRelock() {
+    MutexLock lock(&mu_);
+    lock.Unlock();
+    lock.Lock();
+    co_await Tick();  // EXPECT-LINT: lock-across-await
+  }
+
+  Task<void> OkScopeClosedFirst() {
+    {
+      MutexLock lock(&mu_);
+      value_++;
+    }
+    co_await Tick();
+  }
+
+  Task<void> OkExplicitUnlock() {
+    MutexLock lock(&mu_);
+    value_++;
+    lock.Unlock();
+    co_await Tick();
+  }
+
+  void OkNoCoroutine() {
+    std::unique_lock<std::mutex> lock(raw_mu_);
+    value_++;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,72 @@
+// Concurrency regression tests for TransactionAgent's waiter handling. The
+// defect class under guard: a decision notification racing WaitDecided so a
+// promise is parked after the waiter list was already drained (lost wakeup),
+// or resolved twice. The agent's contract is exactly-once resolution of
+// every WaitDecided future regardless of interleaving.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "otxn/otxn_runtime.h"
+#include "tests/common/watchdog.h"
+
+namespace snapper::otxn {
+namespace {
+
+TEST(TransactionAgentTest, WaitBeforeAndAfterDecision) {
+  TransactionAgent agent;
+  const uint64_t tid = agent.Begin();
+  auto before = agent.WaitDecided(tid);
+  agent.NotifyCommitted(tid);
+  auto after = agent.WaitDecided(tid);
+  ASSERT_TRUE(testing::WaitResolved(before, 30.0));
+  ASSERT_TRUE(testing::WaitResolved(after, 30.0));
+  EXPECT_TRUE(before.Peek().ok());
+  EXPECT_TRUE(after.Peek().ok());
+}
+
+TEST(TransactionAgentTest, AbortedDecisionPropagates) {
+  TransactionAgent agent;
+  const uint64_t tid = agent.Begin();
+  auto waiter = agent.WaitDecided(tid);
+  agent.NotifyAborted(tid);
+  ASSERT_TRUE(testing::WaitResolved(waiter, 30.0));
+  EXPECT_TRUE(waiter.Peek().IsTxnAborted());
+}
+
+TEST(TransactionAgentTest, ConcurrentWaitersNeverLost) {
+  // Threads race WaitDecided against the decision notification; every
+  // future must resolve exactly once whichever side of the drain it lands
+  // on.
+  constexpr int kRounds = 50;
+  constexpr int kWaiters = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    TransactionAgent agent;
+    const uint64_t tid = agent.Begin();
+    std::vector<Future<Status>> futures(kWaiters);
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    threads.reserve(kWaiters + 1);
+    for (int i = 0; i < kWaiters; ++i) {
+      threads.emplace_back([&, i]() {
+        ready.fetch_add(1);
+        while (ready.load() < kWaiters + 1) std::this_thread::yield();
+        futures[i] = agent.WaitDecided(tid);
+      });
+    }
+    threads.emplace_back([&]() {
+      ready.fetch_add(1);
+      while (ready.load() < kWaiters + 1) std::this_thread::yield();
+      agent.NotifyCommitted(tid);
+    });
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(0u, testing::WaitAllResolved(futures, 30.0))
+        << "round " << round << ": a WaitDecided future was lost";
+    for (const auto& f : futures) EXPECT_TRUE(f.Peek().ok());
+  }
+}
+
+}  // namespace
+}  // namespace snapper::otxn
