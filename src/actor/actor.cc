@@ -1,5 +1,6 @@
 #include "actor/actor.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,7 +21,8 @@ ActorRuntime::ActorRuntime(Options options)
     : options_(options),
       executor_(options.num_workers),
       rng_(options.seed),
-      max_delay_ms_(options.max_inject_delay_ms) {
+      max_delay_ms_(options.max_inject_delay_ms),
+      mailbox_capacity_(options.mailbox_capacity) {
   shards_.reserve(kShards);
   for (size_t i = 0; i < kShards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -109,6 +111,22 @@ void ActorRuntime::Shutdown() {
   // Workers are parked: no frame can touch a zombie anymore.
   MutexLock lock(&retired_mu_);
   retired_.clear();
+}
+
+size_t ActorRuntime::num_retired() const {
+  MutexLock lock(&retired_mu_);
+  return retired_.size();
+}
+
+size_t ActorRuntime::MaxMailboxDepth() const {
+  size_t max_depth = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (const auto& [id, actor] : shard->map) {
+      max_depth = std::max(max_depth, actor->strand_->MaxQueueDepth());
+    }
+  }
+  return max_depth;
 }
 
 uint32_t ActorRuntime::RandomDelayMs() {

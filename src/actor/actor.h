@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 
 #include "actor/message_faults.h"
 #include "async/executor.h"
@@ -130,6 +131,13 @@ class ActorRuntime {
     /// Randomized per-message delivery delay, exercising Orleans'
     /// nondeterministic message timing. 0 disables injection.
     uint32_t max_inject_delay_ms = 0;
+    /// Bounded-mailbox high watermark: a kDroppable Call whose target strand
+    /// already holds this many queued turns is shed with a typed
+    /// Status::Overloaded failure instead of enqueued. kReliable
+    /// (transactional, in-flight protocol) turns are never shed — dropping
+    /// them mid-protocol would wedge commit chains; their volume is bounded
+    /// upstream by admission control. 0 = unbounded.
+    size_t mailbox_capacity = 0;
     uint64_t seed = 42;
   };
 
@@ -172,6 +180,16 @@ class ActorRuntime {
   auto Call(const ActorId& id, Fn fn, MsgGuard guard = MsgGuard::kReliable) {
     auto actor = Get<A>(id);
     using TaskT = std::invoke_result_t<Fn, A&>;
+    using ResultT = typename TaskT::value_type;
+    // Bounded mailbox (overload protection): shed sheddable messages once
+    // the target's queue is at capacity, with a typed failure the sender can
+    // distinguish from loss. Checked before fault injection so a shed
+    // message is never also dropped/duplicated.
+    if (guard == MsgGuard::kDroppable && mailbox_capacity_ != 0 &&
+        actor->strand_->QueueDepth() >= mailbox_capacity_) {
+      mailbox_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return MakeOverloadedFuture<ResultT>(id);
+    }
     uint32_t delay_ms = 0;
     if (msg_faults_.active()) {
       const auto d = msg_faults_.Decide(guard);
@@ -236,6 +254,21 @@ class ActorRuntime {
 
   size_t num_kills() const { return num_kills_.load(); }
 
+  /// Sheddable messages rejected by the bounded-mailbox check in Call.
+  /// Every rejection surfaced a typed kOverloaded failure to its sender —
+  /// the harness asserts shed work is never silently lost.
+  size_t mailbox_rejections() const {
+    return mailbox_rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Evicted (killed / crashed) activations still pinned for UAF safety.
+  /// Bounded by kills per runtime lifetime; freed at Shutdown.
+  size_t num_retired() const;
+
+  /// Largest mailbox depth observed on any live actor's strand since it was
+  /// activated — the bound the overload harness asserts against.
+  size_t MaxMailboxDepth() const;
+
   /// Simulates losing all in-memory actor state (a silo crash): drops every
   /// activation. Subsequent calls re-activate fresh instances, which recover
   /// from the WAL (paper §4.2.5). Callers must quiesce in-flight work first.
@@ -246,6 +279,16 @@ class ActorRuntime {
 
  private:
   uint32_t RandomDelayMs();
+
+  /// A future pre-resolved with a typed kOverloaded error, returned from
+  /// Call when the bounded-mailbox check sheds the message.
+  template <typename T>
+  Future<T> MakeOverloadedFuture(const ActorId& id) {
+    auto state = std::make_shared<FutureState<T>>();
+    state->SetException(std::make_exception_ptr(StatusError(
+        Status::Overloaded("mailbox full: actor " + id.ToString()))));
+    return Future<T>(state);
+  }
 
   Options options_;
   Executor executor_;
@@ -269,7 +312,7 @@ class ActorRuntime {
   /// so freeing a zombie while its strand still has queued turns would be a
   /// use-after-free. The gates behind failed() keep zombies inert; this list
   /// just pins their storage. Bounded by kills per runtime lifetime.
-  Mutex retired_mu_;
+  mutable Mutex retired_mu_;
   std::vector<std::shared_ptr<ActorBase>> retired_ GUARDED_BY(retired_mu_);
 
   Mutex rng_mu_;
@@ -277,7 +320,9 @@ class ActorRuntime {
   MessageFaultInjector msg_faults_;
   std::atomic<size_t> num_activations_{0};
   std::atomic<size_t> num_kills_{0};
+  std::atomic<size_t> mailbox_rejections_{0};
   std::atomic<uint32_t> max_delay_ms_{0};
+  size_t mailbox_capacity_ = 0;  // copied from options_ at construction
   void* app_context_ = nullptr;
 };
 

@@ -70,6 +70,7 @@ void Strand::Post(std::function<void()> fn) {
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(fn));
+    if (queue_.size() > max_depth_) max_depth_ = queue_.size();
     if (!scheduled_) {
       scheduled_ = true;
       need_schedule = true;
@@ -79,6 +80,16 @@ void Strand::Post(std::function<void()> fn) {
 }
 
 Strand* Strand::Current() { return tls_current_strand; }
+
+size_t Strand::QueueDepth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
+}
+
+size_t Strand::MaxQueueDepth() const {
+  MutexLock lock(&mu_);
+  return max_depth_;
+}
 
 void Strand::ScheduleDrain() {
   executor_->Post([self = shared_from_this()] { self->Drain(); });

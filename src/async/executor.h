@@ -72,6 +72,14 @@ class Strand : public std::enable_shared_from_this<Strand> {
 
   Executor* executor() const { return executor_; }
 
+  /// Tasks currently queued (the mailbox depth of an actor owning this
+  /// strand). Admission checks read it before enqueueing new sheddable work.
+  size_t QueueDepth() const;
+
+  /// Largest queue depth ever observed right after an enqueue — the
+  /// high-watermark the overload harness asserts against its bounds.
+  size_t MaxQueueDepth() const;
+
  private:
   void ScheduleDrain();
   void Drain();
@@ -80,9 +88,10 @@ class Strand : public std::enable_shared_from_this<Strand> {
   static constexpr int kDrainBudget = 32;
 
   Executor* executor_;
-  Mutex mu_;
+  mutable Mutex mu_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool scheduled_ GUARDED_BY(mu_) = false;  // a drain job is queued or running
+  size_t max_depth_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace snapper

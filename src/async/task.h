@@ -42,6 +42,7 @@ struct TaskPromiseReturn<void, Promise> {
 template <typename T>
 class [[nodiscard]] Task {
  public:
+  using value_type = T;
   using V = WrapVoid<T>;
 
   struct promise_type : internal::TaskPromiseReturn<T, promise_type> {

@@ -1,0 +1,79 @@
+#include "common/admission.h"
+
+#include <algorithm>
+
+namespace snapper {
+
+Status AdmissionController::Admit(TxnClass cls) {
+  MutexLock lock(&mu_);
+  if (cls == TxnClass::kPact) {
+    if (options_.pact_tokens != 0 && inflight_pact_ >= options_.pact_tokens) {
+      shed_pact_++;
+      // Shed messages stay under the SSO threshold: the reject path runs at
+      // full offered load during overload and must not allocate.
+      return Status::Overloaded("pact budget");
+    }
+    inflight_pact_++;
+    max_inflight_pact_ = std::max(max_inflight_pact_, inflight_pact_);
+    admitted_pact_++;
+    return Status::OK();
+  }
+  if (options_.act_tokens != 0) {
+    if (inflight_act_ >= options_.act_tokens) {
+      shed_act_++;
+      return Status::Overloaded("act budget");
+    }
+    // Shed-ACTs-first: past the combined-occupancy threshold the remaining
+    // headroom is reserved for the cheaper, abort-free PACT path.
+    if (options_.pact_tokens != 0 && options_.degrade_threshold < 1.0) {
+      const double occupancy =
+          static_cast<double>(inflight_pact_ + inflight_act_);
+      if (occupancy >=
+          options_.degrade_threshold * static_cast<double>(TotalBudget())) {
+        shed_act_++;
+        shed_act_degraded_++;
+        return Status::Overloaded("act degraded");
+      }
+    }
+  }
+  inflight_act_++;
+  max_inflight_act_ = std::max(max_inflight_act_, inflight_act_);
+  admitted_act_++;
+  return Status::OK();
+}
+
+void AdmissionController::Release(TxnClass cls) {
+  MutexLock lock(&mu_);
+  if (cls == TxnClass::kPact) {
+    if (inflight_pact_ > 0) inflight_pact_--;
+  } else {
+    if (inflight_act_ > 0) inflight_act_--;
+  }
+}
+
+bool AdmissionController::degraded() const {
+  MutexLock lock(&mu_);
+  if (options_.pact_tokens == 0 || options_.act_tokens == 0 ||
+      options_.degrade_threshold >= 1.0) {
+    return false;
+  }
+  return static_cast<double>(inflight_pact_ + inflight_act_) >=
+         options_.degrade_threshold * static_cast<double>(TotalBudget());
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  MutexLock lock(&mu_);
+  Stats s;
+  s.admitted_pact = admitted_pact_;
+  s.admitted_act = admitted_act_;
+  s.shed_pact = shed_pact_;
+  s.shed_act = shed_act_;
+  s.shed_act_degraded = shed_act_degraded_;
+  s.inflight_pact = inflight_pact_;
+  s.inflight_act = inflight_act_;
+  s.max_inflight_pact = max_inflight_pact_;
+  s.max_inflight_act = max_inflight_act_;
+  return s;
+}
+
+}  // namespace snapper

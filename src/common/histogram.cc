@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <thread>
 
 namespace snapper {
 
@@ -83,6 +85,36 @@ double Histogram::Quantile(double q) const {
     seen += buckets_[i];
   }
   return static_cast<double>(max_);
+}
+
+ConcurrentHistogram::ConcurrentHistogram() {
+  for (auto& shard : shards_) shard = std::make_unique<Shard>();
+}
+
+void ConcurrentHistogram::Record(uint64_t value_us) {
+  // Stable per-thread shard choice: threads contend only when the hash
+  // collides, and a thread's samples stay on one shard (cache-friendly).
+  const size_t idx =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kShards;
+  Shard& shard = *shards_[idx];
+  MutexLock lock(&shard.mu);
+  shard.histogram.Record(value_us);
+}
+
+void ConcurrentHistogram::Clear() {
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    shard->histogram.Clear();
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram merged;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    merged.Merge(shard->histogram);
+  }
+  return merged;
 }
 
 std::string Histogram::ToString() const {

@@ -3,9 +3,13 @@
 // aggregation across client threads is a simple bucket-wise sum.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace snapper {
 
@@ -38,6 +42,34 @@ class Histogram {
   uint64_t sum_ = 0;
   uint64_t min_ = ~0ull;
   uint64_t max_ = 0;
+};
+
+/// Thread-safe histogram for recorders that cannot keep per-thread instances
+/// (overload shedding paths, queue-depth samplers): lock-striped shards keep
+/// concurrent Record calls mostly uncontended; Snapshot merges the shards
+/// into a plain Histogram for quantile queries.
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram();
+
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  void Record(uint64_t value_us);
+  void Clear();
+
+  /// Merged copy of all shards at some point during the call; concurrent
+  /// Records may or may not be included (each is in exactly one shard, so
+  /// none is ever double-counted).
+  Histogram Snapshot() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable Mutex mu;
+    Histogram histogram GUARDED_BY(mu);
+  };
+  std::array<std::unique_ptr<Shard>, kShards> shards_;
 };
 
 }  // namespace snapper

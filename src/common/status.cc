@@ -14,6 +14,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kTimedOut: return "TimedOut";
     case StatusCode::kShuttingDown: return "ShuttingDown";
+    case StatusCode::kOverloaded: return "Overloaded";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kIOError,            ///< Storage layer failure.
   kTimedOut,           ///< A bounded wait expired (hybrid deadlock breaker).
   kShuttingDown,       ///< Runtime is draining; request rejected.
+  kOverloaded,         ///< Admission control shed the request; retryable.
   kInternal,           ///< Invariant violation inside the library.
 };
 
@@ -73,6 +74,9 @@ class Status {
   static Status ShuttingDown(std::string msg = "shutting down") {
     return Status(StatusCode::kShuttingDown, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "overloaded") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -86,6 +90,7 @@ class Status {
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;
@@ -100,6 +105,24 @@ class Status {
 
   StatusCode code_ = StatusCode::kOk;
   AbortReason abort_reason_ = AbortReason::kNone;
+  std::string message_;
+};
+
+/// Exception wrapper carrying a Status, for surfaces that can only signal
+/// failure exceptionally (future resolution, coroutine unwinding) but where
+/// the failure is an *expected*, machine-classifiable condition — e.g. a
+/// bounded mailbox shedding a message with kOverloaded. Catch sites that
+/// translate exceptions into client-visible statuses unwrap it so the typed
+/// code survives the trip (see StatusFromExceptionPtr).
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status)
+      : status_(std::move(status)), message_(status_.ToString()) {}
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  Status status_;
   std::string message_;
 };
 

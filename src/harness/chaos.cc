@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -231,6 +232,7 @@ std::string ActorChaosReport::ToJson() const {
      << ",\"actor_kills\":" << actor_kills
      << ",\"reactivations\":" << reactivations
      << ",\"reactivation_us\":" << reactivation_us
+     << ",\"retired_activations\":" << retired_activations
      << ",\"watchdog_batch_aborts\":" << watchdog_batch_aborts
      << ",\"watchdog_act_aborts\":" << watchdog_act_aborts
      << ",\"watchdog_act_resolutions\":" << watchdog_act_resolutions
@@ -394,6 +396,7 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
 
   faults.ClearFaults();
   CopyFaultCounters(faults, report);
+  report.retired_activations = rt->runtime().num_retired();
   const auto& counters = rt->context().counters;
   report.actor_kills = counters.actor_kills.load();
   report.reactivations = counters.reactivations.load();
@@ -593,6 +596,7 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
     }
   }
 
+  report.retired_activations = rt->runtime().num_retired();
   report.actor_kills = rt->counters().actor_kills.load();
   report.reactivations = rt->counters().reactivations.load();
   report.reactivation_us = rt->counters().reactivation_us.load();
@@ -609,6 +613,12 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
 ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options) {
   return options.use_otxn ? RunOtxnActorChaos(options)
                           : RunSnapperActorChaos(options);
+}
+
+uint64_t ChaosSeed(uint64_t fallback) {
+  const char* v = std::getenv("SNAPPER_CHAOS_SEED");
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
 }
 
 }  // namespace snapper::harness

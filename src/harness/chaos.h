@@ -126,6 +126,10 @@ struct ActorChaosReport {
   uint64_t actor_kills = 0;
   uint64_t reactivations = 0;
   uint64_t reactivation_us = 0;  ///< summed kill->serving-again latency
+  /// Zombie activations still pinned in the runtime's retired registry at
+  /// round end (ActorRuntime::num_retired). Must stay bounded by the kill
+  /// count — growth beyond it would be a pinning leak.
+  uint64_t retired_activations = 0;
   uint64_t watchdog_batch_aborts = 0;
   uint64_t watchdog_act_aborts = 0;
   uint64_t watchdog_act_resolutions = 0;
@@ -147,5 +151,11 @@ struct ActorChaosReport {
 /// Runs one actor-chaos round. Deterministic modulo scheduling for a fixed
 /// ActorChaosOptions (fault decisions are seeded; interleavings are not).
 ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options);
+
+/// Seed for chaos/overload rounds: the SNAPPER_CHAOS_SEED environment
+/// variable (parsed as unsigned decimal) wins over `fallback`, so a failing
+/// CI round can be replayed locally without editing the test (see
+/// EXPERIMENTS.md "Reproducing chaos failures").
+uint64_t ChaosSeed(uint64_t fallback);
 
 }  // namespace snapper::harness

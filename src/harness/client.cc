@@ -136,6 +136,9 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
     clients.emplace_back([&, c] {
       CompletionChannel completions;
       size_t in_flight = 0;
+      // Per-client overload retry budget; shared across requests, never
+      // refilled (ClientConfig::overload_retry_budget).
+      uint64_t overload_budget_used = 0;
       // Backed-off ACT retries, ordered by resubmission time.
       std::priority_queue<PendingRetry, std::vector<PendingRetry>,
                           std::greater<PendingRetry>>
@@ -147,9 +150,14 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
 
       auto submit_request = [&](TxnRequest request, int attempt) {
         const bool is_pact = request.mode == TxnMode::kPact;
-        const bool retryable = request.mode == TxnMode::kAct &&
-                               attempt < config.max_act_retries;
+        // Keep the request copy whenever any retry path might need it: ACT
+        // conflict retries (bounded per-attempt) or overload retries
+        // (bounded by the shared budget, any mode).
+        const bool retryable = (request.mode == TxnMode::kAct &&
+                                attempt < config.max_act_retries) ||
+                               config.overload_retry_budget > 0;
         const auto start = Clock::now();
+        if (attempt == 0) request.first_submit = start;
         TxnRequest copy;
         if (retryable) copy = request;
         Future<TxnResult> future = submit(std::move(request));
@@ -168,14 +176,20 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
         return true;
       };
 
-      auto backoff_for = [&](int attempt) {
-        auto backoff = config.act_retry_backoff * (1 << std::min(attempt, 20));
-        backoff = std::min<std::chrono::microseconds>(
-            backoff, config.act_retry_backoff_cap);
+      // Jitter down to half the nominal backoff: simultaneous wait-die
+      // victims (or shed submitters) must not stampede back in lockstep.
+      auto jittered = [&](std::chrono::microseconds backoff) {
         const auto us = static_cast<uint64_t>(backoff.count());
-        // Jitter down to half the nominal backoff: simultaneous wait-die
-        // victims must not stampede back in lockstep.
         return std::chrono::microseconds(us - jitter.Uniform(us / 2 + 1));
+      };
+      auto backoff_for = [&](int attempt) {
+        return jittered(SaturatingBackoff(config.act_retry_backoff, attempt,
+                                          config.act_retry_backoff_cap));
+      };
+      auto overload_backoff_for = [&](int attempt) {
+        return jittered(SaturatingBackoff(config.overload_retry_backoff,
+                                          attempt,
+                                          config.overload_retry_backoff_cap));
       };
 
       for (size_t i = 0; i < config.pipeline; ++i) {
@@ -208,9 +222,38 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
               done.is_pact, done.result, static_cast<uint64_t>(latency));
         }
         const Status& s = done.result.status;
-        if (done.retryable && s.IsTxnAborted() &&
-            s.abort_reason() == AbortReason::kActActConflict &&
+        if (done.retryable && s.IsOverloaded() &&
             !stop.load(std::memory_order_relaxed)) {
+          // Shed by admission control or a bounded mailbox. Retry after
+          // backoff while the request is within its deadline and the
+          // client's shared retry budget lasts; otherwise abandon and pull
+          // fresh work (the back-pressure path).
+          const bool past_deadline =
+              config.request_deadline.count() > 0 &&
+              Clock::now() - done.request.first_submit >=
+                  config.request_deadline;
+          if (past_deadline) {
+            if (in_window) {
+              metrics[c][static_cast<size_t>(e)].deadline_abandoned++;
+            }
+          } else if (overload_budget_used < config.overload_retry_budget) {
+            overload_budget_used++;
+            if (in_window) {
+              metrics[c][static_cast<size_t>(e)].overload_retries++;
+            }
+            retries.push(
+                PendingRetry{Clock::now() + overload_backoff_for(done.attempt),
+                             std::move(done.request), done.attempt + 1});
+            continue;
+          } else if (config.overload_retry_budget > 0) {
+            if (in_window) {
+              metrics[c][static_cast<size_t>(e)].retry_budget_exhausted++;
+            }
+          }
+        } else if (done.retryable && s.IsTxnAborted() &&
+                   s.abort_reason() == AbortReason::kActActConflict &&
+                   done.attempt < config.max_act_retries &&
+                   !stop.load(std::memory_order_relaxed)) {
           // Wait-die victim: try again after backoff instead of pulling a
           // fresh request (keeps the pipeline depth roughly constant).
           if (in_window) metrics[c][static_cast<size_t>(e)].act_retries++;
@@ -247,6 +290,18 @@ BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
     }
   }
   return result;
+}
+
+std::chrono::microseconds SaturatingBackoff(std::chrono::microseconds base,
+                                            int attempt,
+                                            std::chrono::microseconds cap) {
+  if (base.count() <= 0) return std::chrono::microseconds(0);
+  if (attempt < 0) attempt = 0;
+  if (base >= cap || attempt >= 63) return cap;
+  // base << attempt <= cap  ⇔  base <= cap >> attempt (floor division), so
+  // the comparison never needs the possibly-overflowing shifted value.
+  if ((cap.count() >> attempt) < base.count()) return cap;
+  return std::chrono::microseconds(base.count() << attempt);
 }
 
 double EnvDouble(const char* name, double fallback) {

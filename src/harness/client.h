@@ -29,6 +29,10 @@ struct TxnRequest {
   Value input;
   ActorAccessInfo info;  ///< pre-declared accesses (PACT submissions only)
   TxnMode mode = TxnMode::kPact;
+  /// Stamped by the harness on first submission; retries inherit it so
+  /// ClientConfig::request_deadline covers the request's whole lifetime
+  /// across attempts (deadline propagation), not each attempt separately.
+  std::chrono::steady_clock::time_point first_submit{};
 };
 
 /// Generates the workload stream (runs on the producer thread).
@@ -56,6 +60,23 @@ struct ClientConfig {
   /// uniformly down to half the value so conflicting victims desynchronize.
   std::chrono::microseconds act_retry_backoff{500};
   std::chrono::microseconds act_retry_backoff_cap{8000};
+
+  /// Overload retry policy: a completion shed with kOverloaded is
+  /// resubmitted after backoff while this per-client retry *budget* lasts.
+  /// The budget is shared across all of the client's overloaded completions
+  /// (not per transaction): under sustained saturation it drains and the
+  /// client starts abandoning shed requests — the back-pressure the
+  /// open-loop overload ramp measures (EpochMetrics::retry_budget_exhausted).
+  /// 0 (default) disables overload retries.
+  uint64_t overload_retry_budget = 0;
+  /// Backoff before overload retry k (0-based): min(cap, base << k),
+  /// saturating (see SaturatingBackoff), jittered like ACT retries.
+  std::chrono::microseconds overload_retry_backoff{1000};
+  std::chrono::microseconds overload_retry_backoff_cap{64000};
+  /// Per-request deadline (0 = off): an overloaded request older than this
+  /// (measured from its first submission) is abandoned instead of retried,
+  /// even with budget left (EpochMetrics::deadline_abandoned).
+  std::chrono::milliseconds request_deadline{0};
 
   double measured_seconds() const {
     return epoch_seconds * (num_epochs - warmup_epochs);
@@ -86,6 +107,14 @@ class PushPullQueue {
 /// threads, runs the epoch clock, and returns merged post-warm-up metrics.
 BenchResult RunBench(const ClientConfig& config, const GeneratorFn& generate,
                      const SubmitFn& submit);
+
+/// Exponential backoff min(cap, base << attempt) that saturates at `cap`
+/// instead of overflowing the shift: attempt counts past the width of the
+/// representation (k >= 32, or any k where base << k would exceed cap)
+/// return exactly `cap`. Negative or zero base returns zero.
+std::chrono::microseconds SaturatingBackoff(std::chrono::microseconds base,
+                                            int attempt,
+                                            std::chrono::microseconds cap);
 
 /// Reads an environment override for bench scale knobs, e.g.
 /// EnvDouble("SNAPPER_EPOCH_SECONDS", 2.0). Lets CI run short epochs while

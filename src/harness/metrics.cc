@@ -15,6 +15,8 @@ void EpochMetrics::Record(bool is_pact, const TxnResult& result,
     start_us.Record(result.timings.start_us);
     exec_us.Record(result.timings.exec_us);
     commit_us.Record(result.timings.commit_us);
+  } else if (result.status.IsOverloaded()) {
+    overloaded++;
   } else {
     aborted++;
     const int reason = static_cast<int>(result.status.abort_reason());
@@ -30,6 +32,10 @@ void EpochMetrics::Merge(const EpochMetrics& other) {
   committed_act += other.committed_act;
   aborted += other.aborted;
   act_retries += other.act_retries;
+  overloaded += other.overloaded;
+  overload_retries += other.overload_retries;
+  retry_budget_exhausted += other.retry_budget_exhausted;
+  deadline_abandoned += other.deadline_abandoned;
   for (size_t i = 0; i < abort_reasons.size(); ++i) {
     abort_reasons[i] += other.abort_reasons[i];
   }
@@ -63,6 +69,20 @@ std::string FaultToleranceJson(const MessageCounters& counters) {
      << counters.watchdog_act_resolutions.load()
      << ",\"txn_deadline_aborts\":" << counters.txn_deadline_aborts.load()
      << "}";
+  return os.str();
+}
+
+std::string AdmissionJson(const AdmissionController::Stats& stats) {
+  std::ostringstream os;
+  os << "{\"admitted_pact\":" << stats.admitted_pact
+     << ",\"admitted_act\":" << stats.admitted_act
+     << ",\"shed_pact\":" << stats.shed_pact
+     << ",\"shed_act\":" << stats.shed_act
+     << ",\"shed_act_degraded\":" << stats.shed_act_degraded
+     << ",\"inflight_pact\":" << stats.inflight_pact
+     << ",\"inflight_act\":" << stats.inflight_act
+     << ",\"max_inflight_pact\":" << stats.max_inflight_pact
+     << ",\"max_inflight_act\":" << stats.max_inflight_act << "}";
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "snapper/txn_types.h"
@@ -25,6 +26,18 @@ struct EpochMetrics {
   /// retry policy, ClientConfig::max_act_retries). Accounting is
   /// per-attempt: each retried attempt's abort is still counted above.
   uint64_t act_retries = 0;
+  /// Completions shed by admission control or a bounded mailbox
+  /// (kOverloaded). Typed shedding, not aborts: counted separately so the
+  /// abort rate keeps its Fig. 16c meaning under overload.
+  uint64_t overloaded = 0;
+  /// Overloaded completions resubmitted (ClientConfig::overload_retry_*).
+  uint64_t overload_retries = 0;
+  /// Overloaded completions abandoned because the client's retry budget ran
+  /// out — the client-visible back-pressure signal under saturation.
+  uint64_t retry_budget_exhausted = 0;
+  /// Overloaded completions abandoned because the request outlived
+  /// ClientConfig::request_deadline across its attempts.
+  uint64_t deadline_abandoned = 0;
   /// Aborts by AbortReason (indexed by the enum's integer value).
   std::array<uint64_t, 16> abort_reasons{};
   Histogram latency;       ///< all committed
@@ -86,5 +99,9 @@ struct BenchResult {
 /// Summary() by benches and by the actor-chaos harness so chaos runs are
 /// machine-readable.
 std::string FaultToleranceJson(const MessageCounters& counters);
+
+/// One-line JSON of an AdmissionController's counters (admitted / shed per
+/// class, degradation sheds, in-flight high-watermarks).
+std::string AdmissionJson(const AdmissionController::Stats& stats);
 
 }  // namespace snapper::harness

@@ -357,7 +357,21 @@ void OtxnActor::DoAbortLocal(uint64_t tid) {
 // OtxnRuntime
 // ---------------------------------------------------------------------------
 
-OtxnRuntime::OtxnRuntime(OtxnConfig config, Env* env) : config_(config) {
+OtxnRuntime::OtxnRuntime(OtxnConfig config, Env* env)
+    : config_(config),
+      // Single submission class: the whole budget is the "ACT" bucket and
+      // the degradation threshold is moot.
+      admission_(AdmissionController::Options{
+          .pact_tokens = 0,
+          .act_tokens = config.max_inflight_txns,
+          .degrade_threshold = 1.0}),
+      shed_future_([] {
+        Promise<TxnResult> promise;
+        TxnResult shed;
+        shed.status = Status::Overloaded("act budget");
+        promise.Set(std::move(shed));
+        return promise.GetFuture();
+      }()) {
   if (env == nullptr) {
     owned_env_ = std::make_unique<MemEnv>();
     env = owned_env_.get();
@@ -365,6 +379,7 @@ OtxnRuntime::OtxnRuntime(OtxnConfig config, Env* env) : config_(config) {
   env_ = env;
   ActorRuntime::Options options;
   options.num_workers = config.num_workers;
+  options.mailbox_capacity = config.mailbox_capacity;
   options.seed = config.seed;
   runtime_ = std::make_unique<ActorRuntime>(options);
   log_manager_ = std::make_unique<LogManager>(
@@ -416,9 +431,15 @@ uint32_t OtxnRuntime::RegisterActorType(
 
 Future<TxnResult> OtxnRuntime::Submit(const ActorId& first, std::string method,
                                       Value input) {
+  Status admit = admission_.Admit(AdmissionController::TxnClass::kAct);
+  // Allocation-free shed: a copy of the pre-resolved kOverloaded future.
+  if (!admit.ok()) return shed_future_;
   FuncCall call{std::move(method), std::move(input)};
   auto task = RunTxn(first, std::move(call));
-  return task.Start(*ta_strand_);
+  auto future = task.Start(*ta_strand_);
+  future.OnReady(
+      [this]() { admission_.Release(AdmissionController::TxnClass::kAct); });
+  return future;
 }
 
 Task<TxnResult> OtxnRuntime::RunTxn(ActorId first, FuncCall call) {

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/mutex.h"
 
 #include "actor/actor.h"
@@ -44,6 +45,12 @@ struct OtxnConfig {
   /// Lock-wait timeout: the baseline's deadlock mechanism (§5.2.2). Short
   /// enough that a deadlock costs one stall, not a whole bench epoch.
   std::chrono::milliseconds lock_wait_timeout{150};
+  /// Admission control (0 = unlimited): in-flight transaction budget.
+  /// Submits past the budget are shed with a typed kOverloaded status —
+  /// the same gate SnapperRuntime applies, for baseline fairness.
+  size_t max_inflight_txns = 0;
+  /// Bounded actor mailboxes (0 = unbounded); see SnapperConfig.
+  size_t mailbox_capacity = 0;
   uint64_t seed = 42;
 };
 
@@ -165,6 +172,8 @@ class OtxnRuntime {
       std::function<std::shared_ptr<OtxnActor>(uint64_t key)> factory);
 
   /// Submits a transaction; the TA assigns the tid and coordinates 2PC.
+  /// Sheds with a typed kOverloaded result when the admission budget
+  /// (config.max_inflight_txns) is exhausted.
   Future<TxnResult> Submit(const ActorId& first, std::string method,
                            Value input);
 
@@ -178,6 +187,11 @@ class OtxnRuntime {
   const OtxnConfig& config() const { return config_; }
   MessageCounters& counters() { return counters_; }
   Env& env() { return *env_; }
+  /// Admission counters for the harness metrics JSON.
+  const AdmissionController& admission() const { return admission_; }
+  /// High-watermark of the TA strand's queue — the baseline's central
+  /// bottleneck, bounded by admission under overload.
+  size_t max_ta_queue_depth() const { return ta_strand_->MaxQueueDepth(); }
 
   /// Fail-stop kill. The TA (in-memory) survives and remains the commit
   /// authority; the next dispatch activates a fresh instance that rebuilds
@@ -198,6 +212,10 @@ class OtxnRuntime {
   Env* env_;
   std::unique_ptr<ActorRuntime> runtime_;
   std::unique_ptr<LogManager> log_manager_;
+  AdmissionController admission_;
+  /// Pre-resolved kOverloaded future returned (by copy) on admission shed —
+  /// the reject path must stay allocation-free under saturating load.
+  Future<TxnResult> shed_future_;
   TransactionAgent agent_;
   MessageCounters counters_;
   std::shared_ptr<Strand> ta_strand_;

@@ -66,6 +66,26 @@ struct SnapperConfig {
   /// for fault-injection runs; the abort is in-doubt by construction.
   std::chrono::milliseconds txn_deadline{0};
 
+  /// Admission control (overload robustness; 0 = unlimited): in-flight
+  /// budgets per submission class. A SubmitPact/SubmitAct that cannot take a
+  /// token resolves immediately with a typed kOverloaded status instead of
+  /// queueing without bound.
+  size_t max_inflight_pacts = 0;
+  size_t max_inflight_acts = 0;
+
+  /// Graceful degradation: once combined admission occupancy crosses this
+  /// fraction of the total budget, new ACTs are shed even while the ACT
+  /// budget has tokens left, reserving the remaining capacity for the
+  /// cheaper, abort-free deterministic path (paper §6). >= 1.0 disables.
+  double admission_degrade_threshold = 0.75;
+
+  /// Bounded actor mailboxes (0 = unbounded): sheddable (kDroppable)
+  /// messages to an actor whose strand already holds this many queued turns
+  /// fail typed-kOverloaded instead of enqueueing. In-flight transactional
+  /// turns are never shed. Size it >= ~2x the admission budget so admitted
+  /// work never trips it.
+  size_t mailbox_capacity = 0;
+
   uint64_t seed = 42;
 };
 

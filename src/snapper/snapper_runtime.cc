@@ -93,7 +93,13 @@ void GlobalAbortController::FinishRound() {
 // SnapperRuntime
 // ---------------------------------------------------------------------------
 
-SnapperRuntime::SnapperRuntime(SnapperConfig config, Env* env) {
+SnapperRuntime::SnapperRuntime(SnapperConfig config, Env* env)
+    : admission_(AdmissionController::Options{
+          .pact_tokens = config.max_inflight_pacts,
+          .act_tokens = config.max_inflight_acts,
+          .degrade_threshold = config.admission_degrade_threshold}),
+      shed_pact_future_(FailFastStatus(Status::Overloaded("pact budget"))),
+      shed_act_future_(FailFastStatus(Status::Overloaded("act budget"))) {
   if (env == nullptr) {
     owned_env_ = std::make_unique<MemEnv>();
     env = owned_env_.get();
@@ -103,6 +109,7 @@ SnapperRuntime::SnapperRuntime(SnapperConfig config, Env* env) {
   ActorRuntime::Options options;
   options.num_workers = config.num_workers;
   options.max_inject_delay_ms = config.max_inject_delay_ms;
+  options.mailbox_capacity = config.mailbox_capacity;
   options.seed = config.seed;
   runtime_ = std::make_unique<ActorRuntime>(options);
 
@@ -177,12 +184,36 @@ void SnapperRuntime::Start() {
 }
 
 Future<TxnResult> SnapperRuntime::FailFastDegraded() {
+  return FailFastStatus(
+      Status::IOError("WAL degraded: transactional submission rejected"));
+}
+
+Future<TxnResult> SnapperRuntime::FailFastStatus(Status status) {
   Promise<TxnResult> promise;
   auto future = promise.GetFuture();
   TxnResult result;
-  result.status =
-      Status::IOError("WAL degraded: transactional submission rejected");
+  result.status = std::move(status);
   promise.Set(std::move(result));
+  return future;
+}
+
+Future<TxnResult> SnapperRuntime::WithAdmission(
+    AdmissionController::TxnClass cls,
+    std::function<Future<TxnResult>()> submit) {
+  Status admit = admission_.Admit(cls);
+  if (!admit.ok()) {
+    // Allocation-free shed: hand back a copy of the pre-resolved future
+    // (see shed_pact_future_). Admit's own status carries the precise
+    // cause, but materializing it per shed would make rejection as
+    // expensive as the saturation it guards against.
+    return cls == AdmissionController::TxnClass::kPact ? shed_pact_future_
+                                                       : shed_act_future_;
+  }
+  auto future = submit();
+  // The token covers the submission until the client-visible future
+  // resolves — including deadline aborts, which stop the client from
+  // re-driving work the system has already lost track of.
+  future.OnReady([this, cls]() { admission_.Release(cls); });
   return future;
 }
 
@@ -207,23 +238,32 @@ Future<TxnResult> SnapperRuntime::SubmitPact(const ActorId& first,
                                              ActorAccessInfo info) {
   assert(started_);
   if (WalDegraded()) return FailFastDegraded();
-  FuncCall call{std::move(method), std::move(input)};
-  return WithTxnDeadline(runtime_->Call<TransactionalActor>(
-      first, [call = std::move(call),
-              info = std::move(info)](TransactionalActor& a) mutable {
-        return a.StartTxn(TxnMode::kPact, std::move(call), std::move(info));
-      }));
+  return WithAdmission(
+      AdmissionController::TxnClass::kPact,
+      [&]() {
+        FuncCall call{std::move(method), std::move(input)};
+        return WithTxnDeadline(runtime_->Call<TransactionalActor>(
+            first, [call = std::move(call),
+                    info = std::move(info)](TransactionalActor& a) mutable {
+              return a.StartTxn(TxnMode::kPact, std::move(call),
+                                std::move(info));
+            }));
+      });
 }
 
 Future<TxnResult> SnapperRuntime::SubmitAct(const ActorId& first,
                                             std::string method, Value input) {
   assert(started_);
   if (WalDegraded()) return FailFastDegraded();
-  FuncCall call{std::move(method), std::move(input)};
-  return WithTxnDeadline(runtime_->Call<TransactionalActor>(
-      first, [call = std::move(call)](TransactionalActor& a) mutable {
-        return a.StartTxn(TxnMode::kAct, std::move(call), {});
-      }));
+  return WithAdmission(
+      AdmissionController::TxnClass::kAct,
+      [&]() {
+        FuncCall call{std::move(method), std::move(input)};
+        return WithTxnDeadline(runtime_->Call<TransactionalActor>(
+            first, [call = std::move(call)](TransactionalActor& a) mutable {
+              return a.StartTxn(TxnMode::kAct, std::move(call), {});
+            }));
+      });
 }
 
 Future<TxnResult> SnapperRuntime::SubmitNt(const ActorId& first,

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "actor/actor.h"
+#include "common/admission.h"
 #include "snapper/config.h"
 #include "snapper/recovery.h"
 #include "snapper/snapper_context.h"
@@ -51,12 +52,15 @@ class SnapperRuntime {
 
   /// Submits a PACT (deterministic execution; `info` pre-declares the actor
   /// accesses, paper §3.1). Fails fast with IOError while the WAL device is
-  /// degraded (see LogManager::health()).
+  /// degraded (see LogManager::health()), and with kOverloaded when
+  /// admission control (config.max_inflight_pacts) sheds the submission.
   Future<TxnResult> SubmitPact(const ActorId& first, std::string method,
                                Value input, ActorAccessInfo info);
 
   /// Submits an ACT (S2PL + 2PC). Fails fast with IOError while the WAL
-  /// device is degraded.
+  /// device is degraded, and with kOverloaded when admission control sheds
+  /// it — ACTs shed before PACTs under combined saturation (graceful
+  /// degradation; see AdmissionController).
   Future<TxnResult> SubmitAct(const ActorId& first, std::string method,
                               Value input);
 
@@ -103,6 +107,9 @@ class SnapperRuntime {
 
   SnapperContext& context() { return context_; }
   ActorRuntime& runtime() { return *runtime_; }
+  /// Admission counters (admitted / shed / in-flight high-watermarks) for
+  /// the harness metrics JSON.
+  const AdmissionController& admission() const { return admission_; }
   Env& env() { return *env_; }
   const SnapperConfig& config() const { return context_.config; }
 
@@ -111,6 +118,14 @@ class SnapperRuntime {
 
  private:
   Future<TxnResult> FailFastDegraded();
+  /// A future pre-resolved with `status` — the typed fail-fast path shared
+  /// by WAL-degraded and admission-shed submissions.
+  static Future<TxnResult> FailFastStatus(Status status);
+  /// Takes an admission token for `cls` and returns the gated submission, or
+  /// sheds with a pre-resolved kOverloaded future. The token is released
+  /// when the client-visible future resolves.
+  Future<TxnResult> WithAdmission(AdmissionController::TxnClass cls,
+                                  std::function<Future<TxnResult>()> submit);
   bool WalDegraded() const;
   /// Applies config.txn_deadline (if set) to a submission future.
   Future<TxnResult> WithTxnDeadline(Future<TxnResult> f);
@@ -123,6 +138,13 @@ class SnapperRuntime {
   Env* env_;
   std::unique_ptr<ActorRuntime> runtime_;
   std::unique_ptr<LogManager> log_manager_;
+  AdmissionController admission_;
+  /// Pre-resolved kOverloaded futures returned (by copy) on admission shed.
+  /// The reject path runs at full offered load precisely when the system is
+  /// saturated, so it must not allocate; per-cause detail (e.g. degraded
+  /// ACT shedding) lives in the admission stats, not the result status.
+  Future<TxnResult> shed_pact_future_;
+  Future<TxnResult> shed_act_future_;
   SnapperContext context_;
   uint64_t tid_base_ = 1;
   bool started_ = false;

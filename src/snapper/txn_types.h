@@ -63,13 +63,16 @@ class TxnAbort : public std::exception {
 };
 
 /// Maps an in-flight exception to the abort status presented to clients:
-/// TxnAbort carries its own status; anything else is a user abort
-/// (paper §3.2.3: unhandled exceptions abort the transaction).
+/// TxnAbort and StatusError carry their own status (the latter keeps typed
+/// non-abort codes like kOverloaded classifiable); anything else is a user
+/// abort (paper §3.2.3: unhandled exceptions abort the transaction).
 inline Status StatusFromExceptionPtr(std::exception_ptr e) {
   try {
     std::rethrow_exception(e);
   } catch (const TxnAbort& abort) {
     return abort.status();
+  } catch (const StatusError& error) {
+    return error.status();
   } catch (const std::exception& ex) {
     return Status::TxnAborted(AbortReason::kUserAbort, ex.what());
   } catch (...) {

@@ -291,6 +291,102 @@ TEST(MessageFaultTest, ProbabilisticDropIsSeededAndCounted) {
   EXPECT_GE(rt.msg_faults().messages(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Bounded mailboxes (ISSUE: overload robustness). A kDroppable Call whose
+// target already has mailbox_capacity turns queued is shed with a typed
+// kOverloaded failure; kReliable calls always enqueue.
+// ---------------------------------------------------------------------------
+
+Status StatusOf(Future<int64_t> f) {
+  try {
+    f.Get();
+    return Status::OK();
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+}
+
+TEST(BoundedMailboxTest, DroppableShedTypedAtCapacityReliableUnaffected) {
+  constexpr size_t kCapacity = 4;
+  ActorRuntime rt(
+      ActorRuntime::Options{.num_workers = 2, .mailbox_capacity = kCapacity});
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  const ActorId id{type, 1};
+
+  // Wedge the actor: a plain turn that blocks until released keeps the
+  // strand busy while we pile up its mailbox deterministically.
+  std::atomic<bool> blocked{false}, release{false};
+  rt.Post(id, [&] {
+    blocked.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  ASSERT_TRUE(SpinUntil([&] { return blocked.load(); }));
+
+  // Fill the mailbox to exactly the high watermark with reliable calls.
+  std::vector<Future<int64_t>> reliable;
+  for (size_t i = 0; i < kCapacity; ++i) {
+    reliable.push_back(rt.Call<CounterActor>(
+        id, [](CounterActor& a) { return a.Add(1); }, MsgGuard::kReliable));
+  }
+  auto actor = rt.Get<CounterActor>(id);
+  ASSERT_EQ(actor->strand().QueueDepth(), kCapacity);
+
+  // Droppable at capacity: shed immediately, typed, counted.
+  auto shed = rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(100); }, MsgGuard::kDroppable);
+  EXPECT_TRUE(shed.ready());  // fail-fast, not queued
+  Status status = StatusOf(std::move(shed));
+  EXPECT_TRUE(status.IsOverloaded()) << status.ToString();
+  EXPECT_EQ(rt.mailbox_rejections(), 1u);
+
+  // Reliable past capacity: never shed (bounded upstream by admission).
+  reliable.push_back(rt.Call<CounterActor>(
+      id, [](CounterActor& a) { return a.Add(1); }, MsgGuard::kReliable));
+  EXPECT_EQ(rt.mailbox_rejections(), 1u);
+
+  release.store(true);
+  for (auto& f : reliable) f.Get();
+  // Only the shed call was lost; every accepted call ran exactly once.
+  EXPECT_EQ(rt.Call<CounterActor>(id,
+                                  [](CounterActor& a) { return a.Get(); })
+                .Get(),
+            static_cast<int64_t>(kCapacity) + 1);
+  // The watermark saw the over-capacity reliable burst.
+  EXPECT_GE(rt.MaxMailboxDepth(), kCapacity + 1);
+}
+
+TEST(BoundedMailboxTest, UnboundedNeverSheds) {
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});  // capacity 0
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  const ActorId id{type, 1};
+  std::vector<Future<int64_t>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(rt.Call<CounterActor>(
+        id, [](CounterActor& a) { return a.Add(1); }, MsgGuard::kDroppable));
+  }
+  for (auto& f : futures) f.Get();
+  EXPECT_EQ(rt.mailbox_rejections(), 0u);
+}
+
+TEST(BoundedMailboxTest, RetiredRegistryCountsKills) {
+  ActorRuntime rt(ActorRuntime::Options{.num_workers = 2});
+  const uint32_t type = rt.RegisterType(
+      "Counter", [](uint64_t) { return std::make_shared<CounterActor>(); });
+  EXPECT_EQ(rt.num_retired(), 0u);
+  for (uint64_t k = 0; k < 3; ++k) {
+    rt.Call<CounterActor>(ActorId{type, k},
+                          [](CounterActor& a) { return a.Add(1); })
+        .Get();
+    EXPECT_TRUE(rt.KillActor(ActorId{type, k}));
+  }
+  // Each kill pins exactly one zombie activation until Shutdown.
+  EXPECT_EQ(rt.num_retired(), 3u);
+}
+
 TEST(ActorIdTest, HashAndEquality) {
   ActorId a{1, 5}, b{1, 5}, c{1, 6}, d{2, 5};
   EXPECT_EQ(a, b);

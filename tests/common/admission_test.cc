@@ -1,0 +1,134 @@
+#include "common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace snapper {
+namespace {
+
+using TxnClass = AdmissionController::TxnClass;
+
+TEST(AdmissionTest, UnlimitedBudgetNeverSheds) {
+  AdmissionController ac(AdmissionController::Options{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ac.Admit(TxnClass::kPact).ok());
+    EXPECT_TRUE(ac.Admit(TxnClass::kAct).ok());
+  }
+  auto s = ac.stats();
+  EXPECT_EQ(s.admitted_pact, 100u);
+  EXPECT_EQ(s.admitted_act, 100u);
+  EXPECT_EQ(s.shed_pact, 0u);
+  EXPECT_EQ(s.shed_act, 0u);
+}
+
+TEST(AdmissionTest, ShedsAtBudgetAndReadmitsAfterRelease) {
+  AdmissionController ac(AdmissionController::Options{
+      .pact_tokens = 2, .act_tokens = 2, .degrade_threshold = 1.0});
+  EXPECT_TRUE(ac.Admit(TxnClass::kPact).ok());
+  EXPECT_TRUE(ac.Admit(TxnClass::kPact).ok());
+  Status shed = ac.Admit(TxnClass::kPact);
+  EXPECT_TRUE(shed.IsOverloaded()) << shed.ToString();
+  ac.Release(TxnClass::kPact);
+  EXPECT_TRUE(ac.Admit(TxnClass::kPact).ok());
+  auto s = ac.stats();
+  EXPECT_EQ(s.admitted_pact, 3u);
+  EXPECT_EQ(s.shed_pact, 1u);
+  EXPECT_EQ(s.inflight_pact, 2u);
+  EXPECT_EQ(s.max_inflight_pact, 2u);
+}
+
+TEST(AdmissionTest, BudgetsAreIndependentPerClass) {
+  AdmissionController ac(AdmissionController::Options{
+      .pact_tokens = 1, .act_tokens = 2, .degrade_threshold = 1.0});
+  EXPECT_TRUE(ac.Admit(TxnClass::kPact).ok());
+  EXPECT_TRUE(ac.Admit(TxnClass::kPact).IsOverloaded());
+  // The exhausted PACT budget does not affect ACT admission (below the
+  // degradation threshold trip point tested separately).
+  EXPECT_TRUE(ac.Admit(TxnClass::kAct).ok());
+  EXPECT_TRUE(ac.Admit(TxnClass::kAct).ok());
+  EXPECT_TRUE(ac.Admit(TxnClass::kAct).IsOverloaded());
+}
+
+// The paper-§6 policy: under pressure, shed the abortable nondeterministic
+// class first and keep capacity for deterministic work.
+TEST(AdmissionTest, DegradationShedsActsBeforePacts) {
+  AdmissionController ac(AdmissionController::Options{
+      .pact_tokens = 8, .act_tokens = 8, .degrade_threshold = 0.5});
+  // Fill half the combined budget (8 of 16) with PACTs.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ac.Admit(TxnClass::kPact).ok());
+  EXPECT_TRUE(ac.degraded());
+  // ACTs are now shed even though their own budget is untouched...
+  Status shed = ac.Admit(TxnClass::kAct);
+  EXPECT_TRUE(shed.IsOverloaded()) << shed.ToString();
+  // ...and counted as degradation sheds, not budget exhaustion.
+  auto s = ac.stats();
+  EXPECT_EQ(s.shed_act, 1u);
+  EXPECT_EQ(s.shed_act_degraded, 1u);
+  EXPECT_EQ(s.inflight_act, 0u);
+  // PACTs still admit up to their own budget.
+  EXPECT_FALSE(ac.Admit(TxnClass::kPact).ok());  // pact budget now full...
+  ac.Release(TxnClass::kPact);
+  EXPECT_TRUE(ac.Admit(TxnClass::kPact).ok());  // ...but recovers on release
+  // Dropping below the threshold re-enables ACTs.
+  for (int i = 0; i < 4; ++i) ac.Release(TxnClass::kPact);
+  EXPECT_FALSE(ac.degraded());
+  EXPECT_TRUE(ac.Admit(TxnClass::kAct).ok());
+}
+
+TEST(AdmissionTest, ThresholdAtOneDisablesEarlyShed) {
+  AdmissionController ac(AdmissionController::Options{
+      .pact_tokens = 4, .act_tokens = 4, .degrade_threshold = 1.0});
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ac.Admit(TxnClass::kPact).ok());
+  EXPECT_FALSE(ac.degraded());
+  EXPECT_TRUE(ac.Admit(TxnClass::kAct).ok());
+  EXPECT_EQ(ac.stats().shed_act_degraded, 0u);
+}
+
+TEST(AdmissionTest, HighWatermarksTrackPeakOccupancy) {
+  AdmissionController ac(AdmissionController::Options{
+      .pact_tokens = 10, .act_tokens = 10, .degrade_threshold = 1.0});
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ac.Admit(TxnClass::kAct).ok());
+  for (int i = 0; i < 6; ++i) ac.Release(TxnClass::kAct);
+  auto s = ac.stats();
+  EXPECT_EQ(s.inflight_act, 0u);
+  EXPECT_EQ(s.max_inflight_act, 6u);
+}
+
+// Admit/Release race from many threads: counters must balance and the
+// in-flight occupancy must never exceed the budget (TSan covers the data
+// races; this covers the accounting).
+TEST(AdmissionTest, ConcurrentAdmitReleaseBalances) {
+  constexpr size_t kTokens = 8;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  AdmissionController ac(AdmissionController::Options{
+      .pact_tokens = kTokens, .act_tokens = kTokens, .degrade_threshold = 1.0});
+  std::atomic<uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnClass cls = (t % 2 == 0) ? TxnClass::kPact : TxnClass::kAct;
+      for (int i = 0; i < kIters; ++i) {
+        if (ac.Admit(cls).ok()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          ac.Release(cls);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto s = ac.stats();
+  EXPECT_EQ(s.inflight_pact, 0u);
+  EXPECT_EQ(s.inflight_act, 0u);
+  EXPECT_LE(s.max_inflight_pact, kTokens);
+  EXPECT_LE(s.max_inflight_act, kTokens);
+  EXPECT_EQ(s.admitted_pact + s.admitted_act, admitted.load());
+  EXPECT_EQ(s.admitted_pact + s.admitted_act + s.shed_pact + s.shed_act,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace snapper

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -297,6 +298,169 @@ TEST(HarnessEndToEnd, ActRetriesRecoverConflictAborts) {
   for (const auto& [key, n] : attempts) {
     EXPECT_LE(n, 3) << "key " << key;
   }
+}
+
+TEST(SaturatingBackoffTest, DoublesUntilCapThenSaturates) {
+  using std::chrono::microseconds;
+  const microseconds base{100}, cap{1000};
+  EXPECT_EQ(SaturatingBackoff(base, 0, cap), microseconds(100));
+  EXPECT_EQ(SaturatingBackoff(base, 1, cap), microseconds(200));
+  EXPECT_EQ(SaturatingBackoff(base, 3, cap), microseconds(800));
+  EXPECT_EQ(SaturatingBackoff(base, 4, cap), cap);  // 1600 > cap
+  EXPECT_EQ(SaturatingBackoff(base, 10, cap), cap);
+}
+
+// The satellite bug: `base << k` at k >= 32 used to overflow (UB for the
+// 64-bit rep at k >= 63, and garbage backoffs long before). The saturating
+// form must return exactly `cap` for every large attempt count.
+TEST(SaturatingBackoffTest, LargeAttemptCountsSaturateInsteadOfOverflowing) {
+  using std::chrono::microseconds;
+  const microseconds base{500}, cap{64000};
+  for (int k : {32, 40, 62, 63, 64, 1000, std::numeric_limits<int>::max()}) {
+    EXPECT_EQ(SaturatingBackoff(base, k, cap), cap) << "k=" << k;
+  }
+}
+
+TEST(SaturatingBackoffTest, EdgeCases) {
+  using std::chrono::microseconds;
+  // Non-positive base: no backoff.
+  EXPECT_EQ(SaturatingBackoff(microseconds(0), 5, microseconds(1000)),
+            microseconds(0));
+  EXPECT_EQ(SaturatingBackoff(microseconds(-10), 5, microseconds(1000)),
+            microseconds(0));
+  // Negative attempt clamps to 0.
+  EXPECT_EQ(SaturatingBackoff(microseconds(100), -3, microseconds(1000)),
+            microseconds(100));
+  // base >= cap: pinned at cap from the first attempt.
+  EXPECT_EQ(SaturatingBackoff(microseconds(2000), 0, microseconds(1000)),
+            microseconds(1000));
+}
+
+// Overload retries: a kOverloaded ack is resubmitted (after backoff) while
+// the per-client budget lasts, and the retried request eventually commits.
+TEST(HarnessEndToEnd, OverloadRetriesRecoverShedRequests) {
+  ClientConfig config;
+  config.num_clients = 1;
+  config.pipeline = 4;
+  config.epoch_seconds = 0.2;
+  config.num_epochs = 2;
+  config.warmup_epochs = 0;
+  config.overload_retry_budget = 10000;
+  config.overload_retry_backoff = std::chrono::microseconds(100);
+  config.overload_retry_backoff_cap = std::chrono::microseconds(500);
+
+  std::atomic<uint64_t> next_key{0};
+  GeneratorFn generate = [&](Rng&) {
+    TxnRequest request;
+    request.root = ActorId{1, next_key.fetch_add(1)};
+    request.method = "M";
+    request.mode = TxnMode::kPact;
+    return request;
+  };
+
+  // Synthetic engine: every request is shed twice, commits on the third
+  // attempt — admission control easing off as load drains.
+  std::mutex mu;
+  std::map<uint64_t, int> attempts;
+  SubmitFn submit = [&](TxnRequest request) {
+    int n;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      n = ++attempts[request.root.key];
+    }
+    Promise<TxnResult> promise;
+    auto future = promise.GetFuture();
+    TxnResult result;
+    if (n < 3) result.status = Status::Overloaded("synthetic shed");
+    promise.Set(std::move(result));
+    return future;
+  };
+
+  BenchResult result = RunBench(config, generate, submit);
+  EXPECT_GT(result.totals.committed, 0u);
+  EXPECT_GT(result.totals.overloaded, 0u);
+  EXPECT_GT(result.totals.overload_retries, 0u);
+  // Typed sheds are not aborts (Fig. 16c abort-rate semantics preserved).
+  EXPECT_EQ(result.totals.aborted, 0u);
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& [key, n] : attempts) {
+    EXPECT_LE(n, 3) << "key " << key;
+  }
+}
+
+// Sustained saturation drains the shared budget: once it is gone the client
+// stops retrying and abandons shed requests (back-pressure), counted in
+// retry_budget_exhausted.
+TEST(HarnessEndToEnd, OverloadRetryBudgetDrainsUnderSustainedShedding) {
+  ClientConfig config;
+  config.num_clients = 1;
+  config.pipeline = 4;
+  config.epoch_seconds = 0.15;
+  config.num_epochs = 2;
+  config.warmup_epochs = 0;
+  config.overload_retry_budget = 5;
+  config.overload_retry_backoff = std::chrono::microseconds(50);
+  config.overload_retry_backoff_cap = std::chrono::microseconds(200);
+
+  std::atomic<uint64_t> next_key{0};
+  GeneratorFn generate = [&](Rng&) {
+    TxnRequest request;
+    request.root = ActorId{1, next_key.fetch_add(1)};
+    request.mode = TxnMode::kPact;
+    return request;
+  };
+  // Permanently saturated engine: everything is shed.
+  SubmitFn submit = [](TxnRequest) {
+    Promise<TxnResult> promise;
+    TxnResult shed;
+    shed.status = Status::Overloaded("synthetic saturation");
+    promise.Set(std::move(shed));
+    return promise.GetFuture();
+  };
+
+  BenchResult result = RunBench(config, generate, submit);
+  EXPECT_EQ(result.totals.committed, 0u);
+  EXPECT_GT(result.totals.overloaded, 0u);
+  // The budget bounds total retries; after it drains, abandonment is typed.
+  EXPECT_LE(result.totals.overload_retries, 5u);
+  EXPECT_GT(result.totals.retry_budget_exhausted, 0u);
+}
+
+// Deadline propagation: the deadline covers the request's whole lifetime
+// from first submission, so a shed request whose retry would land past it is
+// abandoned even with budget left.
+TEST(HarnessEndToEnd, OverloadDeadlineAbandonsOldRequests) {
+  ClientConfig config;
+  config.num_clients = 1;
+  config.pipeline = 2;
+  config.epoch_seconds = 0.15;
+  config.num_epochs = 2;
+  config.warmup_epochs = 0;
+  config.overload_retry_budget = 1000000;  // never the binding constraint
+  config.overload_retry_backoff = std::chrono::microseconds(2000);
+  config.overload_retry_backoff_cap = std::chrono::microseconds(2000);
+  config.request_deadline = std::chrono::milliseconds(1);
+
+  std::atomic<uint64_t> next_key{0};
+  GeneratorFn generate = [&](Rng&) {
+    TxnRequest request;
+    request.root = ActorId{1, next_key.fetch_add(1)};
+    request.mode = TxnMode::kPact;
+    return request;
+  };
+  SubmitFn submit = [](TxnRequest) {
+    Promise<TxnResult> promise;
+    TxnResult shed;
+    shed.status = Status::Overloaded("synthetic saturation");
+    promise.Set(std::move(shed));
+    return promise.GetFuture();
+  };
+
+  BenchResult result = RunBench(config, generate, submit);
+  EXPECT_EQ(result.totals.committed, 0u);
+  EXPECT_GT(result.totals.deadline_abandoned, 0u);
+  // Budget never exhausted: the deadline, not the budget, stops retries.
+  EXPECT_EQ(result.totals.retry_budget_exhausted, 0u);
 }
 
 TEST(PaperConfigTest, ScaleTableFollowsBaseUnit) {

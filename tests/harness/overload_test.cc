@@ -1,0 +1,106 @@
+// Overload-ramp smoke tests (ISSUE: overload robustness). Each test drives
+// one stack through the calibrate / ramp / drain phases at several times its
+// measured saturation point and asserts graceful degradation: typed
+// shedding, bounded queues, zero silent drops, and a goodput floor.
+//
+// Registered with `LABELS overload` so CI's dedicated job runs exactly
+// these (`ctest -L overload`). Default durations are CI-short; scale them
+// up (and the assertions stay valid) via the SNAPPER_OVERLOAD_* env
+// overrides documented in EXPERIMENTS.md. SNAPPER_CHAOS_SEED replays a
+// failing round.
+#include "harness/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/chaos.h"   // ChaosSeed
+#include "harness/client.h"  // EnvDouble
+
+namespace snapper::harness {
+namespace {
+
+OverloadRampOptions ShortRampOptions(uint64_t fallback_seed) {
+  OverloadRampOptions options;
+  options.seed = ChaosSeed(fallback_seed);
+  options.calibrate_seconds =
+      EnvDouble("SNAPPER_OVERLOAD_CALIBRATE_SECONDS", 0.6);
+  options.ramp_seconds = EnvDouble("SNAPPER_OVERLOAD_RAMP_SECONDS", 1.5);
+  options.overload_factor = EnvDouble("SNAPPER_OVERLOAD_FACTOR", 4.0);
+  options.goodput_floor = EnvDouble("SNAPPER_OVERLOAD_GOODPUT_FLOOR", 0.7);
+  options.watchdog_seconds =
+      EnvDouble("SNAPPER_OVERLOAD_WATCHDOG_SECONDS", 60.0);
+  return options;
+}
+
+void CheckGracefulDegradation(const OverloadRampReport& report) {
+  // ok() covers the harness invariants: typed shedding engaged, mailbox
+  // depth within capacity, goodput >= floor x peak, conservation, no hang.
+  EXPECT_TRUE(report.ok()) << report.violation << "\n" << report.ToJson();
+  // Restate the load-shedding contract explicitly for failure readability.
+  EXPECT_EQ(report.unresolved, 0u) << report.ToJson();
+  EXPECT_EQ(report.other_failures, 0u) << report.ToJson();
+  EXPECT_GT(report.overloaded, 0u) << report.ToJson();
+  EXPECT_GT(report.committed, 0u) << report.ToJson();
+  // Open loop at overload_factor x peak: the system cannot have absorbed
+  // everything it was offered.
+  EXPECT_LT(report.committed, report.submitted) << report.ToJson();
+  // Every submission resolved into exactly one typed bucket — no silent
+  // drops.
+  EXPECT_EQ(report.committed + report.aborted + report.overloaded +
+                report.other_failures,
+            report.submitted)
+      << report.ToJson();
+  EXPECT_LE(report.max_mailbox_depth, report.mailbox_capacity)
+      << report.ToJson();
+  // The sheds the ramp observed came from admission control (and possibly
+  // bounded mailboxes), all accounted.
+  EXPECT_GT(report.admission.shed_pact + report.admission.shed_act +
+                report.mailbox_rejections,
+            0u)
+      << report.ToJson();
+}
+
+TEST(OverloadRampTest, SnapperShedsTypedAndHoldsGoodput) {
+  OverloadRampOptions options = ShortRampOptions(41);
+  OverloadRampReport report = RunSmallBankOverloadRamp(options);
+  CheckGracefulDegradation(report);
+  // Mixed load with shed-ACTs-first degradation armed: in-flight admissions
+  // respected both budgets.
+  EXPECT_LE(report.admission.max_inflight_pact, options.pact_tokens)
+      << report.ToJson();
+  EXPECT_LE(report.admission.max_inflight_act, options.act_tokens)
+      << report.ToJson();
+}
+
+TEST(OverloadRampTest, OtxnShedsTypedAndHoldsGoodput) {
+  OverloadRampOptions options = ShortRampOptions(43);
+  options.use_otxn = true;
+  OverloadRampReport report = RunSmallBankOverloadRamp(options);
+  CheckGracefulDegradation(report);
+  // The TA strand's watermark is reported and bounded (checked inside the
+  // harness against 16x the budget; must be nonzero — traffic flowed).
+  EXPECT_GT(report.max_ta_queue_depth, 0u) << report.ToJson();
+}
+
+// The JSON metrics line carries every overload counter the bench harness
+// aggregates (ISSUE satellite: metrics output).
+TEST(OverloadRampTest, ReportJsonCarriesOverloadCounters) {
+  OverloadRampReport report;
+  const std::string json = report.ToJson();
+  for (const char* key :
+       {"\"peak_tps\":", "\"offered_tps\":", "\"ramp_goodput_tps\":",
+        "\"submitted\":", "\"committed\":", "\"aborted\":", "\"overloaded\":",
+        "\"other_failures\":", "\"unresolved\":", "\"admission\":",
+        "\"admitted_pact\":", "\"admitted_act\":", "\"shed_pact\":",
+        "\"shed_act\":", "\"shed_act_degraded\":", "\"max_inflight_pact\":",
+        "\"max_inflight_act\":", "\"mailbox_capacity\":",
+        "\"max_mailbox_depth\":", "\"mailbox_rejections\":",
+        "\"max_ta_queue_depth\":", "\"total_balance\":",
+        "\"expected_total\":", "\"ok\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing: " << json;
+  }
+}
+
+}  // namespace
+}  // namespace snapper::harness
