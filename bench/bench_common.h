@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/paper_config.h"
@@ -123,5 +125,57 @@ inline void PrintRow(const std::string& label, const BenchResult& r) {
               r.totals.latency.Quantile(0.99) / 1000.0);
   std::fflush(stdout);
 }
+
+/// Machine-readable perf snapshot beside the human-readable rows: each
+/// figure bench appends one JSON object per row and writes
+/// `<dir>/BENCH_<name>.json` at exit (dir defaults to bench_results/,
+/// override with SNAPPER_BENCH_JSON_DIR; set empty to disable). Snapshots
+/// are committed so perf regressions show up in review as JSON diffs.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+
+  /// One row: ordered (key, value) pairs, e.g. {{"txnsize", 4}, ...}.
+  void AddRow(
+      const std::vector<std::pair<std::string, double>>& fields) {
+    std::string row = "    {";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) row += ", ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", fields[i].second);
+      row += "\"" + fields[i].first + "\": " + buf;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes the snapshot; returns false (and warns) if the directory is
+  /// missing. Call once after the last row.
+  bool Write() const {
+    const char* dir_env = std::getenv("SNAPPER_BENCH_JSON_DIR");
+    const std::string dir = dir_env != nullptr ? dir_env : "bench_results";
+    if (dir.empty()) return true;  // disabled
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJsonWriter: cannot write %s (run from the "
+                   "repo root or set SNAPPER_BENCH_JSON_DIR)\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace snapper::bench

@@ -23,6 +23,7 @@ int main() {
   std::printf("%8s %10s %10s %10s %10s %10s %12s %12s\n", "txnsize", "NT",
               "PACT(cc)", "PACT(+log)", "ACT(cc)", "ACT(+log)",
               "ACT abort%", "PACT/NT");
+  BenchJsonWriter json("fig12_txnsize");
 
   for (int txnsize : {2, 4, 8, 16, 32, 64}) {
     Cell cell;
@@ -61,6 +62,14 @@ int main() {
                 cell.act_log, cell.act_abort * 100,
                 cell.nt > 0 ? cell.pact_log / cell.nt : 0);
     std::fflush(stdout);
+    json.AddRow({{"txnsize", txnsize},
+                 {"nt_tps", cell.nt},
+                 {"pact_cc_tps", cell.pact_cc},
+                 {"pact_log_tps", cell.pact_log},
+                 {"act_cc_tps", cell.act_cc},
+                 {"act_log_tps", cell.act_log},
+                 {"act_abort_rate", cell.act_abort}});
   }
+  json.Write();
   return 0;
 }

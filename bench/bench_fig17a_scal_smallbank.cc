@@ -15,6 +15,10 @@ int main() {
   using namespace snapper::bench;
 
   PrintHeader("Fig. 17a: SmallBank scalability (txnsize 4, CC+log)");
+  BenchJsonWriter json("fig17a_scal_smallbank");
+  auto mode_index = [](const std::string& m) {
+    return m == "PACT" ? 0.0 : m == "ACT" ? 1.0 : m == "hybrid90" ? 2.0 : 3.0;
+  };
 
   for (size_t cores : BenchCoreCounts()) {
     const auto scale = harness::ScaleForCores(cores);
@@ -61,8 +65,17 @@ int main() {
         std::snprintf(label, sizeof(label), "%zu cores / %s / %s", cores,
                       hotspot ? "hotspot" : "uniform", mode_name);
         PrintRow(label, r);
+        // mode: 0=PACT 1=ACT 2=hybrid90 3=NT.
+        json.AddRow({{"cores", static_cast<double>(cores)},
+                     {"hotspot", hotspot ? 1.0 : 0.0},
+                     {"mode", mode_index(mode_name)},
+                     {"tps", r.Throughput()},
+                     {"abort_rate", r.AbortRate()},
+                     {"p50_ms", r.totals.latency.Quantile(0.5) / 1000.0},
+                     {"p99_ms", r.totals.latency.Quantile(0.99) / 1000.0}});
       }
     }
   }
+  json.Write();
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   using namespace snapper::bench;
 
   PrintHeader("Fig. 17b: TPC-C NewOrder scalability (CC+log)");
+  BenchJsonWriter json("fig17b_scal_tpcc");
 
   for (size_t cores : BenchCoreCounts()) {
     const uint64_t warehouses = std::max<uint64_t>(1, (cores / 4) * 2 +
@@ -50,8 +51,19 @@ int main() {
                       : mode == TxnMode::kAct ? "ACT"
                                               : "NT");
         PrintRow(label, r);
+        // mode: 0=PACT 1=ACT 3=NT (matches fig17a's encoding).
+        json.AddRow({{"cores", static_cast<double>(cores)},
+                     {"high_skew", high_skew ? 1.0 : 0.0},
+                     {"mode", mode == TxnMode::kPact  ? 0.0
+                              : mode == TxnMode::kAct ? 1.0
+                                                      : 3.0},
+                     {"tps", r.Throughput()},
+                     {"abort_rate", r.AbortRate()},
+                     {"p50_ms", r.totals.latency.Quantile(0.5) / 1000.0},
+                     {"p99_ms", r.totals.latency.Quantile(0.99) / 1000.0}});
       }
     }
   }
+  json.Write();
   return 0;
 }

@@ -3,6 +3,10 @@
 // table, local schedule, WAL append, actor RPC round trip.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "actor/actor.h"
 #include "async/task.h"
 #include "common/crc32c.h"
@@ -146,4 +150,28 @@ BENCHMARK(BM_ActorRpcRoundTrip);
 }  // namespace
 }  // namespace snapper
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to writing a committed JSON snapshot
+// (bench_results/BENCH_micro.json) unless the caller already passed
+// --benchmark_out. Run from the repo root so the relative path resolves.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+      break;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=bench_results/BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "otxn/otxn_runtime.h"
 #include "snapper/snapper_runtime.h"
+#include "wal/checkpoint.h"
 #include "wal/fault_env.h"
 #include "workloads/smallbank.h"
 
@@ -241,6 +242,12 @@ std::string ActorChaosReport::ToJson() const {
      << ",\"msgs_dropped\":" << msgs_dropped
      << ",\"msgs_duplicated\":" << msgs_duplicated
      << ",\"msgs_delayed\":" << msgs_delayed
+     << ",\"checkpoints_taken\":" << checkpoints_taken
+     << ",\"checkpoint_lag_bytes\":" << checkpoint_lag_bytes
+     << ",\"wal_segments_truncated\":" << wal_segments_truncated
+     << ",\"wal_bytes_truncated\":" << wal_bytes_truncated
+     << ",\"recovery_replay_records\":" << recovery_replay_records
+     << ",\"recovery_time_us\":" << recovery_time_us
      << ",\"total_balance\":" << total_balance
      << ",\"expected_total\":" << expected_total
      << ",\"ok\":" << (ok() ? "true" : "false") << "}";
@@ -286,6 +293,26 @@ void CopyFaultCounters(const MessageFaultInjector& faults,
   report.msgs_delayed = faults.delayed();
 }
 
+/// Checkpoint turns trail the last transaction asynchronously (threshold
+/// request → actor turn → checkpoint append → group flush), so a round that
+/// reads its counters the instant the last future resolves would miss them.
+/// Polls the checkpoint stats until they are stable across two samples (or
+/// ~500 ms), which bounds the wait without hard-coding a flush latency.
+void DrainCheckpoints(LogManager& log) {
+  const auto* cp = log.checkpoints();
+  if (cp == nullptr) return;
+  uint64_t last_fingerprint = ~uint64_t{0};
+  for (int i = 0; i < 25; ++i) {
+    const uint64_t fingerprint =
+        cp->stats().checkpoints_durable.load() * 1000003 +
+        cp->stats().checkpoint_requests.load() * 1009 +
+        cp->stats().lag_bytes.load();
+    if (fingerprint == last_fingerprint) return;
+    last_fingerprint = fingerprint;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
 /// Waits for `gates` WhenAll arrivals with one deadline. Returns false on
 /// watchdog expiry.
 struct ArrivalGate {
@@ -306,6 +333,8 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   config.batch_deadline = options.batch_deadline;
   config.act_resolution_deadline = options.act_resolution_deadline;
   config.txn_deadline = options.txn_deadline;
+  config.wal_segment_bytes = options.wal_segment_bytes;
+  config.checkpoint_threshold_bytes = options.checkpoint_threshold_bytes;
   const int num_accounts = options.num_roots + options.num_txns;
   report.expected_total = kPerAccount * num_accounts;
 
@@ -376,6 +405,18 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
          << " kill acks unresolved after " << options.watchdog_seconds << "s";
       report.violation = os.str();
       CopyFaultCounters(faults, report);
+      // Snapshot the runtime counters too: a hang report without the
+      // watchdog / checkpoint numbers is undebuggable after the fact.
+      rt->SyncWalCounters();
+      const auto& hc = rt->context().counters;
+      report.actor_kills = hc.actor_kills.load();
+      report.reactivations = hc.reactivations.load();
+      report.watchdog_batch_aborts = hc.watchdog_batch_aborts.load();
+      report.watchdog_act_aborts = hc.watchdog_act_aborts.load();
+      report.watchdog_act_resolutions = hc.watchdog_act_resolutions.load();
+      report.txn_deadline_aborts = hc.txn_deadline_aborts.load();
+      report.checkpoints_taken = hc.checkpoints_taken.load();
+      report.recovery_replay_records = hc.recovery_replay_records.load();
       rt.release();  // deliberate leak, see above
       return report;
     }
@@ -397,6 +438,8 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   faults.ClearFaults();
   CopyFaultCounters(faults, report);
   report.retired_activations = rt->runtime().num_retired();
+  DrainCheckpoints(rt->log_manager());
+  rt->SyncWalCounters();
   const auto& counters = rt->context().counters;
   report.actor_kills = counters.actor_kills.load();
   report.reactivations = counters.reactivations.load();
@@ -405,6 +448,12 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   report.watchdog_act_aborts = counters.watchdog_act_aborts.load();
   report.watchdog_act_resolutions = counters.watchdog_act_resolutions.load();
   report.txn_deadline_aborts = counters.txn_deadline_aborts.load();
+  report.checkpoints_taken = counters.checkpoints_taken.load();
+  report.checkpoint_lag_bytes = counters.checkpoint_lag_bytes.load();
+  report.wal_segments_truncated = counters.wal_segments_truncated.load();
+  report.wal_bytes_truncated = counters.wal_bytes_truncated.load();
+  report.recovery_replay_records = counters.recovery_replay_records.load();
+  report.recovery_time_us = counters.recovery_time_us.load();
 
   // --- Phase 2: silo crash, recover from the WAL, check invariants. This
   // verifies that kill/reactivate cycles and message faults left a log from
@@ -424,6 +473,10 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
     return report;
   }
   recovered.Start();
+  // Crash-recovery cost on top of the in-round reactivations above.
+  const auto& rec_counters = recovered.context().counters;
+  report.recovery_replay_records += rec_counters.recovery_replay_records.load();
+  report.recovery_time_us += rec_counters.recovery_time_us.load();
 
   std::ostringstream violations;
   violations.precision(15);
@@ -477,6 +530,8 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
   config.num_workers = 2;
   config.num_loggers = 2;
   config.seed = options.seed;
+  config.wal_segment_bytes = options.wal_segment_bytes;
+  config.checkpoint_threshold_bytes = options.checkpoint_threshold_bytes;
   const int num_accounts = options.num_roots + options.num_txns;
   report.expected_total = kPerAccount * num_accounts;
 
@@ -597,12 +652,22 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
   }
 
   report.retired_activations = rt->runtime().num_retired();
+  DrainCheckpoints(rt->log_manager());
+  rt->SyncWalCounters();
   report.actor_kills = rt->counters().actor_kills.load();
   report.reactivations = rt->counters().reactivations.load();
   report.reactivation_us = rt->counters().reactivation_us.load();
   report.watchdog_act_aborts = rt->counters().watchdog_act_aborts.load();
   report.watchdog_act_resolutions =
       rt->counters().watchdog_act_resolutions.load();
+  report.checkpoints_taken = rt->counters().checkpoints_taken.load();
+  report.checkpoint_lag_bytes = rt->counters().checkpoint_lag_bytes.load();
+  report.wal_segments_truncated =
+      rt->counters().wal_segments_truncated.load();
+  report.wal_bytes_truncated = rt->counters().wal_bytes_truncated.load();
+  report.recovery_replay_records =
+      rt->counters().recovery_replay_records.load();
+  report.recovery_time_us = rt->counters().recovery_time_us.load();
 
   report.violation = violations.str();
   return report;
@@ -615,10 +680,219 @@ ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options) {
                           : RunSnapperActorChaos(options);
 }
 
+// ---------------------------------------------------------------------------
+// Bounded-time crash recovery
+// ---------------------------------------------------------------------------
+
+std::string BoundedRecoveryReport::ToJson() const {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"committed\":" << committed << ",\"aborted\":" << aborted
+     << ",\"checkpoints_taken\":" << checkpoints_taken
+     << ",\"checkpoint_lag_bytes\":" << checkpoint_lag_bytes
+     << ",\"wal_segments_truncated\":" << wal_segments_truncated
+     << ",\"wal_bytes_truncated\":" << wal_bytes_truncated
+     << ",\"recovery_replay_records\":" << recovery_replay_records
+     << ",\"recovery_time_us\":" << recovery_time_us
+     << ",\"wal_bytes_written\":" << wal_bytes_written
+     << ",\"wal_bytes_on_disk\":" << wal_bytes_on_disk
+     << ",\"total_balance\":" << total_balance
+     << ",\"expected_total\":" << expected_total
+     << ",\"ok\":" << (ok() ? "true" : "false") << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Live WAL bytes: the sum of every surviving segment's synced size.
+/// Compared against LogManager::TotalBytes() (bytes ever written) to prove
+/// truncation physically reclaimed the prefix.
+uint64_t WalBytesOnDisk(Env& env) {
+  uint64_t total = 0;
+  for (const auto& name : env.ListFiles()) {
+    size_t logger = 0;
+    uint64_t seq = 0;
+    if (!ParseWalFileName(name, &logger, &seq)) continue;
+    std::string content;
+    if (env.ReadFile(name, &content).ok()) total += content.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+BoundedRecoveryReport RunBoundedRecovery(const BoundedRecoveryOptions& options) {
+  BoundedRecoveryReport report;
+  Rng rng(options.seed);
+  report.expected_total = kPerAccount * options.num_accounts;
+  std::ostringstream violations;
+  violations.precision(15);
+
+  // The pool is fixed so every actor keeps writing and crosses the
+  // checkpoint threshold; with one-shot receivers (the chaos rounds'
+  // decodable traffic) the coldest actor would never checkpoint and the
+  // truncation floor could never advance.
+  const size_t threshold =
+      options.enable_checkpointing ? options.checkpoint_threshold_bytes : 0;
+  const auto pick_pair = [&rng, &options](uint64_t* from, uint64_t* to) {
+    *from = rng.Uniform(options.num_accounts);
+    *to = rng.Uniform(options.num_accounts);
+    if (*to == *from) *to = (*to + 1) % options.num_accounts;
+  };
+
+  double total = 0;
+  if (!options.use_otxn) {
+    MemEnv env;
+    SnapperConfig config;
+    config.num_workers = 2;
+    config.num_coordinators = 2;
+    config.num_loggers = 2;
+    config.seed = options.seed;
+    config.wal_segment_bytes = options.wal_segment_bytes;
+    config.checkpoint_threshold_bytes = threshold;
+    SnapperRuntime rt(config, &env);
+    const uint32_t type = smallbank::RegisterSmallBank(rt);
+    rt.Start();
+    for (int i = 0; i < options.num_txns; ++i) {
+      uint64_t from = 0, to = 0;
+      pick_pair(&from, &to);
+      TxnResult r =
+          rt.SubmitAct(ActorId{type, from}, "MultiTransfer",
+                       smallbank::MultiTransferInput(options.amount, {to}))
+              .Get();
+      if (r.ok()) {
+        report.committed++;
+      } else {
+        report.aborted++;
+      }
+    }
+    // Let trailing checkpoint requests / segment truncation drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    const ActorId victim{type, 0};
+    rt.KillActor(victim).Get();
+    for (int a = 0; a < options.num_accounts; ++a) {
+      TxnResult r;
+      for (int attempt = 0; attempt < 500; ++attempt) {
+        r = rt.RunNt(ActorId{type, static_cast<uint64_t>(a)}, "Balance",
+                     Value(ValueMap{}));
+        if (r.ok()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (!r.ok()) {
+        violations << "Balance(" << a << ") failed: " << r.status.ToString()
+                   << "; ";
+        continue;
+      }
+      total += r.value.AsDouble();
+    }
+    rt.SyncWalCounters();
+    const auto& c = rt.context().counters;
+    report.checkpoints_taken = c.checkpoints_taken.load();
+    report.checkpoint_lag_bytes = c.checkpoint_lag_bytes.load();
+    report.wal_segments_truncated = c.wal_segments_truncated.load();
+    report.wal_bytes_truncated = c.wal_bytes_truncated.load();
+    report.recovery_replay_records = c.recovery_replay_records.load();
+    report.recovery_time_us = c.recovery_time_us.load();
+    report.wal_bytes_written = rt.log_manager().TotalBytes();
+    report.wal_bytes_on_disk = WalBytesOnDisk(env);
+  } else {
+    MemEnv env;
+    otxn::OtxnConfig config;
+    config.num_workers = 2;
+    config.num_loggers = 2;
+    config.seed = options.seed;
+    config.wal_segment_bytes = options.wal_segment_bytes;
+    config.checkpoint_threshold_bytes = threshold;
+    otxn::OtxnRuntime rt(config, &env);
+    const uint32_t type =
+        rt.RegisterActorType("SmallBankAccount", [](uint64_t) {
+          return std::make_shared<
+              smallbank::SmallBankLogic<otxn::OtxnActor>>();
+        });
+    for (int i = 0; i < options.num_txns; ++i) {
+      uint64_t from = 0, to = 0;
+      pick_pair(&from, &to);
+      TxnResult r = rt.Run(ActorId{type, from}, "MultiTransfer",
+                           smallbank::MultiTransferInput(options.amount, {to}));
+      if (r.ok()) {
+        report.committed++;
+      } else {
+        report.aborted++;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    // coro-lint: allow(discarded-task) — fail-stop kill is fire-and-forget
+    rt.KillActor(ActorId{type, 0});
+    for (int a = 0; a < options.num_accounts; ++a) {
+      TxnResult r;
+      for (int attempt = 0; attempt < 500; ++attempt) {
+        r = rt.Run(ActorId{type, static_cast<uint64_t>(a)}, "Balance",
+                   Value(ValueMap{}));
+        if (r.ok()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (!r.ok()) {
+        violations << "Balance(" << a << ") failed: " << r.status.ToString()
+                   << "; ";
+        continue;
+      }
+      total += r.value.AsDouble();
+    }
+    rt.SyncWalCounters();
+    report.checkpoints_taken = rt.counters().checkpoints_taken.load();
+    report.checkpoint_lag_bytes = rt.counters().checkpoint_lag_bytes.load();
+    report.wal_segments_truncated =
+        rt.counters().wal_segments_truncated.load();
+    report.wal_bytes_truncated = rt.counters().wal_bytes_truncated.load();
+    report.recovery_replay_records =
+        rt.counters().recovery_replay_records.load();
+    report.recovery_time_us = rt.counters().recovery_time_us.load();
+    report.wal_bytes_written = rt.log_manager().TotalBytes();
+    report.wal_bytes_on_disk = WalBytesOnDisk(env);
+  }
+  report.total_balance = total;
+
+  if (std::fabs(total - report.expected_total) > kEps) {
+    violations << "conservation: total " << total << " != expected "
+               << report.expected_total << "; ";
+  }
+  if (options.enable_checkpointing) {
+    // The bounded-recovery contract (in-harness, per ISSUE acceptance).
+    if (report.checkpoints_taken == 0) {
+      violations << "checkpointing enabled but no checkpoint was taken; ";
+    }
+    if (report.wal_segments_truncated == 0) {
+      violations << "checkpointing enabled but no WAL segment was "
+                    "truncated; ";
+    }
+    if (report.recovery_replay_records > options.replay_cap) {
+      violations << "recovery replayed " << report.recovery_replay_records
+                 << " records, above the cap " << options.replay_cap << "; ";
+    }
+    if (report.wal_bytes_on_disk >= report.wal_bytes_written) {
+      violations << "WAL did not shrink: " << report.wal_bytes_on_disk
+                 << " bytes on disk vs " << report.wal_bytes_written
+                 << " ever written; ";
+    }
+  }
+  report.violation = violations.str();
+  return report;
+}
+
 uint64_t ChaosSeed(uint64_t fallback) {
   const char* v = std::getenv("SNAPPER_CHAOS_SEED");
   if (v == nullptr || *v == '\0') return fallback;
   return std::strtoull(v, nullptr, 10);
+}
+
+std::string ReplayCommand(uint64_t seed, const std::string& test_binary,
+                          const std::string& gtest_filter) {
+  std::ostringstream os;
+  os << "replay: SNAPPER_CHAOS_SEED=" << seed << " ./" << test_binary
+     << " --gtest_filter='" << gtest_filter << "'";
+  return os.str();
 }
 
 }  // namespace snapper::harness

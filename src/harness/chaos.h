@@ -115,6 +115,16 @@ struct ActorChaosOptions {
 
   double watchdog_seconds = 20.0;
   bool use_otxn = false;  ///< run the OrleansTxn baseline instead of Snapper
+
+  // Asynchronous checkpointing (wal/checkpoint.h), ON by default so every
+  // chaos sweep exercises kill/reactivate/crash-recover with checkpoint
+  // records and segment rolling in the log. A root account logs ~4 state
+  // records (~45 framed bytes each) per round, so the threshold must sit
+  // below ~180 bytes for roots to cross it; one-shot receiver accounts
+  // (one record) stay below it and never checkpoint. Set the threshold to
+  // 0 to run the legacy no-checkpoint configuration.
+  size_t wal_segment_bytes = 4096;
+  size_t checkpoint_threshold_bytes = 96;
 };
 
 struct ActorChaosReport {
@@ -139,6 +149,14 @@ struct ActorChaosReport {
   uint64_t msgs_duplicated = 0;
   uint64_t msgs_delayed = 0;
 
+  // Checkpoint / recovery economics for the round (summed over phases).
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_lag_bytes = 0;     ///< end-of-round gauge
+  uint64_t wal_segments_truncated = 0;
+  uint64_t wal_bytes_truncated = 0;
+  uint64_t recovery_replay_records = 0;  ///< reactivations + crash recovery
+  uint64_t recovery_time_us = 0;
+
   double total_balance = 0;
   double expected_total = 0;
   std::string violation;  ///< empty iff all invariants held
@@ -152,10 +170,72 @@ struct ActorChaosReport {
 /// ActorChaosOptions (fault decisions are seeded; interleavings are not).
 ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options);
 
+// ---------------------------------------------------------------------------
+// Bounded-time crash recovery: the checkpoint subsystem's acceptance harness.
+// A fixed account pool (so every actor keeps accumulating WAL lag and crosses
+// the checkpoint threshold — one-shot actors would never checkpoint) runs
+// `num_txns` transfers, then a victim actor is fail-stop killed and
+// reactivated. With checkpointing enabled the replayed suffix must stay under
+// `replay_cap` records *regardless of run length*, at least one checkpoint
+// and one segment truncation must have happened, and the WAL's on-disk byte
+// size must be smaller than the total bytes ever written to it (the truncated
+// prefix is really gone). With checkpointing disabled the same run shows
+// replay work linear in run length — the contrast the tests assert.
+// ---------------------------------------------------------------------------
+
+struct BoundedRecoveryOptions {
+  uint64_t seed = 1;
+  bool use_otxn = false;           ///< run the OrleansTxn baseline
+  bool enable_checkpointing = true;
+  size_t checkpoint_threshold_bytes = 1024;
+  size_t wal_segment_bytes = 2048;
+  int num_accounts = 4;            ///< fixed pool; transfers stay inside it
+  int num_txns = 200;              ///< run length (the bound must not scale)
+  double amount = 1.0;
+  /// Max records the victim's reactivation may replay (checkpointing on).
+  /// Steady-state retention is bounded by num_accounts * threshold lag plus
+  /// segment-granularity stragglers (a segment survives until *every* actor
+  /// checkpoints past it) plus decision records awaiting truncation — about
+  /// 300 records for the defaults, independent of num_txns. A disabled run
+  /// replays every record ever written (~6 per transfer), so the default cap
+  /// separates the two already at num_txns = 100.
+  uint64_t replay_cap = 400;
+  double watchdog_seconds = 30.0;
+};
+
+struct BoundedRecoveryReport {
+  int committed = 0;
+  int aborted = 0;
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_lag_bytes = 0;
+  uint64_t wal_segments_truncated = 0;
+  uint64_t wal_bytes_truncated = 0;
+  uint64_t recovery_replay_records = 0;
+  uint64_t recovery_time_us = 0;
+  uint64_t wal_bytes_written = 0;  ///< total ever appended+synced
+  uint64_t wal_bytes_on_disk = 0;  ///< live segment bytes at round end
+  double total_balance = 0;
+  double expected_total = 0;
+  std::string violation;  ///< empty iff all invariants held
+
+  bool ok() const { return violation.empty(); }
+  std::string ToJson() const;
+};
+
+/// Runs one bounded-recovery round (in-harness assertions per above).
+BoundedRecoveryReport RunBoundedRecovery(const BoundedRecoveryOptions& options);
+
 /// Seed for chaos/overload rounds: the SNAPPER_CHAOS_SEED environment
 /// variable (parsed as unsigned decimal) wins over `fallback`, so a failing
 /// CI round can be replayed locally without editing the test (see
 /// EXPERIMENTS.md "Reproducing chaos failures").
 uint64_t ChaosSeed(uint64_t fallback);
+
+/// The exact command line that replays a failing chaos round: prints the
+/// seed via SNAPPER_CHAOS_SEED and the gtest filter of the calling test.
+/// Sweep assertions append this to their failure message so a CI failure is
+/// reproducible by copy-paste.
+std::string ReplayCommand(uint64_t seed, const std::string& test_binary,
+                          const std::string& gtest_filter);
 
 }  // namespace snapper::harness

@@ -68,6 +68,15 @@ std::string FaultToleranceJson(const MessageCounters& counters) {
      << ",\"watchdog_act_resolutions\":"
      << counters.watchdog_act_resolutions.load()
      << ",\"txn_deadline_aborts\":" << counters.txn_deadline_aborts.load()
+     << ",\"recovery_time_us\":" << counters.recovery_time_us.load()
+     << ",\"recovery_replay_records\":"
+     << counters.recovery_replay_records.load()
+     << ",\"checkpoints_taken\":" << counters.checkpoints_taken.load()
+     << ",\"checkpoint_lag_bytes\":" << counters.checkpoint_lag_bytes.load()
+     << ",\"wal_segments_truncated\":"
+     << counters.wal_segments_truncated.load()
+     << ",\"wal_bytes_truncated\":" << counters.wal_bytes_truncated.load()
+     << ",\"cold_deactivations\":" << counters.cold_deactivations.load()
      << "}";
   return os.str();
 }

@@ -1,11 +1,13 @@
 #include "otxn/otxn_runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <optional>
 #include <utility>
 
 #include "async/timer.h"
+#include "wal/checkpoint.h"
 #include "wal/log_format.h"
 
 namespace snapper::otxn {
@@ -124,31 +126,63 @@ Task<void> OtxnActor::Reactivate() {
     barrier.actor = id();
     auto barrier_done = rt.log_manager().LoggerFor(id()).Append(barrier);
     co_await barrier_done;
+    const TimePoint scan_start = Now();
 
-    // Replay this actor's prepared snapshots in append order. All of them
-    // live in one WAL file (LoggerFor is a stable hash), so per-file order
-    // is write order.
-    std::vector<std::pair<uint64_t, Value>> prepared;
+    // Replay this actor's records in append order. All of them live in one
+    // logger's stream (LoggerFor is a stable hash); the stream's segments
+    // concatenate in (logger, seq) order — never lexicographic, which would
+    // sort "wal-0-000001.log" before the legacy "wal-0.log". A checkpoint
+    // record resets the base state and discards the prepares before it:
+    // only the checkpoint-to-tail suffix is replayed. Files deleted by a
+    // racing truncation read as NotFound and are skipped — every state
+    // record they held is superseded by a later durable checkpoint.
+    struct WalFile {
+      size_t logger;
+      uint64_t seq;
+      std::string name;
+      bool operator<(const WalFile& o) const {
+        return logger != o.logger ? logger < o.logger : seq < o.seq;
+      }
+    };
+    std::vector<WalFile> files;
     for (const auto& name : rt.env().ListFiles()) {
-      if (name.rfind("wal-", 0) != 0) continue;
+      size_t logger = 0;
+      uint64_t seq = 0;
+      if (ParseWalFileName(name, &logger, &seq)) {
+        files.push_back(WalFile{logger, seq, name});
+      }
+    }
+    std::sort(files.begin(), files.end());
+    std::optional<Value> base;
+    std::vector<std::pair<uint64_t, Value>> prepared;
+    for (const auto& f : files) {
       std::string content;
-      if (!rt.env().ReadFile(name, &content).ok()) continue;
+      if (!rt.env().ReadFile(f.name, &content).ok()) continue;
       LogCursor cursor(content);
       LogRecord record;
       while (cursor.Next(&record).ok()) {
-        if (record.type != LogRecordType::kActPrepare) continue;
         if (!(record.actor == id()) || record.state.empty()) continue;
+        if (record.type == LogRecordType::kCheckpoint) {
+          std::string_view in = record.state;
+          Value snapshot;
+          if (!snapshot.DecodeFrom(&in)) continue;
+          base = std::move(snapshot);
+          prepared.clear();  // superseded: replay only the suffix
+          continue;
+        }
+        if (record.type != LogRecordType::kActPrepare) continue;
         std::string_view in = record.state;
         Value snapshot;
         if (!snapshot.DecodeFrom(&in)) continue;
         prepared.emplace_back(record.id, std::move(snapshot));
       }
     }
+    rt.counters().recovery_replay_records.fetch_add(prepared.size());
     // Early lock release makes prepare order == write order, so the last
     // committed prepared snapshot is the durable state. The TA is the
     // commit authority and survives actor kills; the fallback timeout is
     // insurance only (roots decide in bounded time).
-    std::optional<Value> recovered;
+    std::optional<Value> recovered = std::move(base);
     for (auto& [tid, snapshot] : prepared) {
       auto decided = rt.agent().WaitDecided(tid);
       auto bounded = AwaitWithFallback<Status>(
@@ -159,6 +193,8 @@ Task<void> OtxnActor::Reactivate() {
       if (s.ok()) recovered = std::move(snapshot);
     }
     if (recovered.has_value()) state_ = std::move(*recovered);
+    rt.counters().recovery_time_us.fetch_add(
+        MicrosBetween(scan_start, Now()));
   }
   recovering_ = false;
   std::chrono::steady_clock::time_point killed_at;
@@ -167,6 +203,32 @@ Task<void> OtxnActor::Reactivate() {
     rt.counters().reactivation_us.fetch_add(MicrosBetween(killed_at, Now()));
   }
   co_return;
+}
+
+Task<bool> OtxnActor::MaybeCheckpoint() {
+  DcheckOnStrand("MaybeCheckpoint");
+  auto& rt = ortx();
+  auto* cp = rt.log_manager().checkpoints();
+  if (cp == nullptr || !rt.log_manager().enabled()) co_return false;
+  // Quiescent turn boundary: no dirty (uncommitted) writes in state_ and no
+  // transaction between invocation and decision here — state_ is exactly
+  // the committed image, and every prepare record this actor ever logged
+  // belongs to a decided transaction, so the checkpoint supersedes them.
+  const bool quiescent = !failed() && !recovering_ && write_stack_.empty() &&
+                         wrote_.empty() && txn_local_.empty() &&
+                         lock_.IsFree();
+  if (!quiescent) {
+    cp->OnCheckpointSkipped(id());
+    co_return false;
+  }
+  LogRecord record;
+  record.type = LogRecordType::kCheckpoint;
+  record.actor = id();
+  record.state = state_.Encode();
+  auto append = rt.log_manager().LoggerFor(id()).Append(std::move(record));
+  const Status s = co_await append;
+  if (!s.ok()) cp->OnCheckpointSkipped(id());
+  co_return s.ok();
 }
 
 Task<Value*> OtxnActor::GetState(TxnContext& ctx, AccessMode mode) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
@@ -281,7 +343,23 @@ Task<bool> OtxnActor::Prepare(uint64_t tid) {
     record.type = LogRecordType::kActPrepare;
     record.id = tid;
     record.actor = id();
-    if (wrote_.count(tid) > 0) record.state = state_.Encode();
+    if (wrote_.count(tid) > 0) {
+      // Early lock release means state_ may already carry dirty writes of
+      // *later* writers this transaction never read (so it holds no commit
+      // dependency on them, and their aborts are invisible to recovery's
+      // replay). Persist the image as of this transaction's own write: the
+      // next dirty writer's before-image, or state_ when it is the newest
+      // writer. Committed earlier writes are included either way.
+      const Value* image = &state_;
+      for (size_t i = 0; i < write_stack_.size(); ++i) {
+        if (write_stack_[i].tid != tid) continue;
+        if (i + 1 < write_stack_.size()) {
+          image = &write_stack_[i + 1].before_image;
+        }
+        break;
+      }
+      record.state = image->Encode();
+    }
     Status ls = co_await rt.log_manager().LoggerFor(id()).Append(record);
     if (!ls.ok()) co_return false;
   }
@@ -300,6 +378,11 @@ Task<void> OtxnActor::Commit(uint64_t tid) {
   txn_local_.erase(tid);
   lock_.Release(tid);  // defensive; normally released at Prepare
   auto& rt = ortx();
+  // The threshold request always fires mid-transaction (it rides this
+  // transaction's own prepare flush), so MaybeCheckpoint skipped. The
+  // decision point is the first turn boundary that can be quiescent: poke
+  // so a standing over-threshold lag re-requests now.
+  if (auto* cp = rt.log_manager().checkpoints()) cp->Poke(id());
   if (rt.log_manager().enabled()) {
     LogRecord record;
     record.type = LogRecordType::kActCommit;
@@ -351,6 +434,9 @@ void OtxnActor::DoAbortLocal(uint64_t tid) {
   wrote_.erase(tid);
   txn_local_.erase(tid);
   lock_.Release(tid);
+  // Same decision-point poke as Commit: the skipped mid-transaction
+  // checkpoint request gets a quiescent retry window here.
+  if (auto* cp = ortx().log_manager().checkpoints()) cp->Poke(id());
 }
 
 // ---------------------------------------------------------------------------
@@ -383,9 +469,21 @@ OtxnRuntime::OtxnRuntime(OtxnConfig config, Env* env)
   options.seed = config.seed;
   runtime_ = std::make_unique<ActorRuntime>(options);
   log_manager_ = std::make_unique<LogManager>(
-      LogManager::Options{.num_loggers = config.num_loggers,
-                          .enable_logging = config.enable_logging},
+      LogManager::Options{
+          .num_loggers = config.num_loggers,
+          .enable_logging = config.enable_logging,
+          .segment_bytes = config.wal_segment_bytes,
+          .checkpoint_threshold_bytes = config.checkpoint_threshold_bytes},
       env_, &runtime_->executor());
+  if (auto* cp = log_manager_->checkpoints();
+      cp != nullptr && cp->checkpointing_enabled()) {
+    cp->SetRequestCheckpointFn([this](const ActorId& id) {
+      // coro-lint: allow(discarded-task) — fire-and-forget turn; the
+      // CheckpointManager learns the outcome via its own hooks.
+      runtime_->Call<OtxnActor>(
+          id, [](OtxnActor& a) { return a.MaybeCheckpoint(); });
+    });
+  }
   runtime_->set_app_context(this);
   ta_strand_ = runtime_->NewStrand();
 }
@@ -403,6 +501,16 @@ void OtxnRuntime::KillActor(const ActorId& id) {
   // coro-lint: allow(discarded-task) — ActorRuntime::KillActor returns
   // bool; the Future-returning KillActor is SnapperRuntime's.
   runtime_->KillActor(id);
+}
+
+void OtxnRuntime::SyncWalCounters() {
+  const auto* cp = log_manager_->checkpoints();
+  if (cp == nullptr) return;
+  const CheckpointStats& stats = cp->stats();
+  counters_.checkpoints_taken.store(stats.checkpoints_durable.load());
+  counters_.checkpoint_lag_bytes.store(stats.lag_bytes.load());
+  counters_.wal_segments_truncated.store(stats.segments_truncated.load());
+  counters_.wal_bytes_truncated.store(stats.bytes_truncated.load());
 }
 
 bool OtxnRuntime::IsActorKilled(const ActorId& id) const {

@@ -42,6 +42,12 @@ struct OtxnConfig {
   size_t num_workers = 4;
   size_t num_loggers = 4;
   bool enable_logging = true;
+  /// WAL segment roll size (0 = one growing file, no truncation); see
+  /// SnapperConfig::wal_segment_bytes.
+  size_t wal_segment_bytes = 0;
+  /// Per-actor asynchronous checkpoint threshold (0 = off); see
+  /// SnapperConfig::checkpoint_threshold_bytes.
+  size_t checkpoint_threshold_bytes = 0;
   /// Lock-wait timeout: the baseline's deadlock mechanism (§5.2.2). Short
   /// enough that a deadlock costs one stall, not a whole bench epoch.
   std::chrono::milliseconds lock_wait_timeout{150};
@@ -103,6 +109,13 @@ class OtxnActor : public ActorBase {
   /// Fail-stop kill: fails every lock waiter parked on this zombie.
   void OnKill() override;
 
+  /// Requested by the CheckpointManager when this actor's durable lag
+  /// crosses the threshold: at a quiescent turn boundary (no dirty writes,
+  /// no undecided transactions) appends a kCheckpoint record carrying
+  /// state_, bounding the prepare suffix Reactivate must replay. Reports a
+  /// skip otherwise.
+  Task<bool> MaybeCheckpoint();
+
   const Value& state_for_test() const { return state_; }
 
  protected:
@@ -117,9 +130,12 @@ class OtxnActor : public ActorBase {
 
   /// Rebuilds durable state after a fail-stop kill: drains the logger FIFO
   /// (so in-flight prepare appends from the previous activation are on
-  /// disk), replays this actor's prepared snapshots in append order, keeps
+  /// disk), seeds from this actor's last durable checkpoint (if any), then
+  /// replays only the prepared snapshots after it in append order, keeping
   /// the last one the TA decided committed (early lock release makes
-  /// prepare order == write order), then starts serving.
+  /// prepare order == write order), then starts serving. Segment files are
+  /// visited in (logger, seq) order; files deleted by a racing truncation
+  /// are skipped — their content is superseded by a later checkpoint.
   Task<void> Reactivate();
 
   Value state_;
@@ -200,6 +216,10 @@ class OtxnRuntime {
   bool IsActorKilled(const ActorId& id) const;
   bool ClearKillMark(const ActorId& id,
                      std::chrono::steady_clock::time_point* killed_at);
+
+  /// Copies CheckpointManager counters into counters() (one coherent
+  /// snapshot for harness metrics); cheap, call before reading them.
+  void SyncWalCounters();
 
   void Shutdown();
 

@@ -24,6 +24,19 @@ struct SnapperConfig {
   /// Fig. 12.
   bool enable_logging = true;
 
+  /// WAL segment roll size per logger (0 = one growing file, no
+  /// truncation). Segments fully covered by later durable checkpoints are
+  /// deleted, bounding on-disk WAL size and recovery replay length.
+  size_t wal_segment_bytes = 0;
+
+  /// Per-actor asynchronous checkpoint threshold (0 = off): once an actor
+  /// has this many durable state-snapshot bytes since its last checkpoint,
+  /// the CheckpointManager asks it to persist a kCheckpoint record at its
+  /// next quiescent turn boundary — no stop-the-world, busy actors simply
+  /// defer. Also enables checkpoint-then-deactivate shedding of cold actors
+  /// when admission control degrades.
+  size_t checkpoint_threshold_bytes = 0;
+
   /// Delay before re-passing the token when a coordinator received it and
   /// had nothing to batch. Keeps an idle ring from burning CPU while barely
   /// affecting batch formation under load.

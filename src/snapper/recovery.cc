@@ -1,28 +1,48 @@
 #include "snapper/recovery.h"
 
+#include <algorithm>
+#include <chrono>
 #include <set>
 #include <vector>
 
+#include "wal/checkpoint.h"
 #include "wal/log_format.h"
 
 namespace snapper {
 
 Result<RecoveryResult> RecoveryManager::Run(Env* env) {
+  const auto start = std::chrono::steady_clock::now();
   RecoveryResult result;
 
-  std::vector<std::string> files;
+  // Segments of one logger concatenate into a single stream in (logger,
+  // seq) order — never lexicographic: "wal-0-000001.log" < "wal-0.log"
+  // because '-' < '.', which would put segments before the legacy file.
+  struct WalFile {
+    size_t logger;
+    uint64_t seq;
+    std::string name;
+    bool operator<(const WalFile& o) const {
+      return logger != o.logger ? logger < o.logger : seq < o.seq;
+    }
+  };
+  std::vector<WalFile> files;
   for (const auto& name : env->ListFiles()) {
-    if (name.rfind("wal-", 0) == 0) files.push_back(name);
+    size_t logger = 0;
+    uint64_t seq = 0;
+    if (ParseWalFileName(name, &logger, &seq)) {
+      files.push_back(WalFile{logger, seq, name});
+    }
   }
+  std::sort(files.begin(), files.end());
 
-  // Load every file's valid record prefix.
-  std::vector<std::vector<LogRecord>> logs;
-  logs.reserve(files.size());
-  for (const auto& name : files) {
+  // Load every stream's valid record prefix, per segment.
+  std::map<size_t, std::vector<LogRecord>> logs;
+  for (const auto& f : files) {
     std::string content;
-    Status s = env->ReadFile(name, &content);
+    Status s = env->ReadFile(f.name, &content);
+    if (s.IsNotFound()) continue;  // deleted by a racing truncation: covered
     if (!s.ok()) return s;
-    std::vector<LogRecord> records;
+    auto& records = logs[f.logger];
     LogCursor cursor(content);
     LogRecord record;
     for (;;) {
@@ -34,8 +54,9 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
       // NotFound = clean end; Corruption = torn tail: stop either way.
       break;
     }
+  }
+  for (const auto& [logger, records] : logs) {
     result.scanned_records += records.size();
-    logs.push_back(std::move(records));
   }
 
   // Pass 1: commit decisions.
@@ -45,7 +66,7 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
   std::map<uint64_t, uint64_t> batch_prev;
   std::map<uint64_t, std::set<ActorId>> batch_completes;
   std::set<uint64_t> act_committed;
-  for (const auto& records : logs) {
+  for (const auto& [logger, records] : logs) {
     for (const auto& r : records) {
       result.max_seen_id = std::max(result.max_seen_id, r.id);
       switch (r.type) {
@@ -66,6 +87,9 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
         case LogRecordType::kActCoordCommit:
           act_committed.insert(r.id);
           break;
+        case LogRecordType::kCheckpoint:
+          ++result.checkpoint_records;
+          break;
         default:
           break;
       }
@@ -84,6 +108,10 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
   // disk even though it never committed — only the *ack* was lost. An
   // explicit BatchCommit still wins; the coordinator guarantees the two are
   // never written for the same bid.
+  // (WAL truncation preserves these rules: it only deletes per-logger
+  // prefixes below the global checkpoint floor, so a batch with any
+  // still-relevant state record keeps its decision records, and a
+  // kBatchInfo is never deleted later than its same-logger kBatchAbort.)
   std::set<uint64_t> batch_committed = batch_commit_logged;
   for (const auto& [bid, participants] : batch_participants) {
     if (batch_committed.count(bid) > 0) continue;
@@ -106,11 +134,27 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
   result.committed_batches = batch_committed.size();
   result.committed_acts = act_committed.size();
 
-  // Pass 2: per-actor last committed state, in per-file (== per-actor
-  // execution) order.
-  for (const auto& records : logs) {
-    for (const auto& r : records) {
+  // Pass 2: per-actor last committed state, in per-stream (== per-actor
+  // execution) order. State records before the owning actor's last
+  // checkpoint in the stream are superseded and skipped without decoding —
+  // the replay suffix is what bounds reactivation time.
+  uint64_t skipped_records = 0;
+  for (const auto& [logger, records] : logs) {
+    std::map<ActorId, size_t> last_checkpoint;
+    for (size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
+      if (r.type == LogRecordType::kCheckpoint && !r.state.empty()) {
+        last_checkpoint[r.actor] = i;
+      }
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
       if (r.state.empty()) continue;
+      const auto cut = last_checkpoint.find(r.actor);
+      if (cut != last_checkpoint.end() && i < cut->second) {
+        ++skipped_records;
+        continue;
+      }
       bool committed = false;
       if (r.type == LogRecordType::kBatchComplete) {
         committed = batch_committed.count(r.id) > 0;
@@ -129,6 +173,11 @@ Result<RecoveryResult> RecoveryManager::Run(Env* env) {
       result.actor_states[r.actor] = std::move(state);
     }
   }
+  result.replay_records = result.scanned_records - skipped_records;
+  result.recovery_time_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return result;
 }
 

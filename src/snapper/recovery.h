@@ -14,9 +14,17 @@
 //     (presumed abort otherwise).
 //
 // State reconstruction: every actor hashes to exactly one logger, so its
-// state-bearing records (BatchComplete / ActPrepare) appear in one file in
-// execution order; the last such record belonging to a committed
-// transaction/batch carries the full state blob to restore.
+// state-bearing records (BatchComplete / ActPrepare / Checkpoint) appear in
+// that logger's segment files in execution order once segments are
+// concatenated by (logger, seq); the last such record belonging to a
+// committed transaction/batch carries the full state blob to restore.
+// Checkpoint records bound replay: state records before an actor's last
+// checkpoint in its stream are skipped without decoding (the checkpoint
+// supersedes them), so reactivation replays only the checkpoint-to-tail
+// suffix. Segment files deleted between ListFiles and ReadFile (a racing
+// truncation) are skipped: truncation only deletes segments whose every
+// state record is superseded by a durable checkpoint at a higher LSN, and
+// that checkpoint's segment predates the deletion, so it is in the listing.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +48,15 @@ struct RecoveryResult {
   uint64_t committed_batches = 0;
   uint64_t committed_acts = 0;
   uint64_t scanned_records = 0;
+  /// Records that actually had to be replayed: scanned minus the state
+  /// records skipped because a later durable checkpoint supersedes them.
+  /// With checkpointing + truncation on, this stays bounded regardless of
+  /// how long the previous incarnation ran.
+  uint64_t replay_records = 0;
+  /// Checkpoint records encountered during the scan.
+  uint64_t checkpoint_records = 0;
+  /// Wall-clock duration of the whole scan + reconstruction.
+  uint64_t recovery_time_us = 0;
 };
 
 class RecoveryManager {

@@ -114,6 +114,13 @@ struct SnapperContext {
     recovered_states_ = std::move(states);
   }
 
+  /// Stages one actor's state (checkpoint-then-deactivate: the next
+  /// activation resumes from the durable checkpoint without a WAL replay).
+  void StageRecoveredState(const ActorId& id, Value state) {
+    MutexLock lock(&registry_mu_);
+    recovered_states_[id] = std::move(state);
+  }
+
   std::optional<Value> TakeRecoveredState(const ActorId& id) {
     MutexLock lock(&registry_mu_);
     auto it = recovered_states_.find(id);

@@ -114,9 +114,25 @@ SnapperRuntime::SnapperRuntime(SnapperConfig config, Env* env)
   runtime_ = std::make_unique<ActorRuntime>(options);
 
   log_manager_ = std::make_unique<LogManager>(
-      LogManager::Options{.num_loggers = config.num_loggers,
-                          .enable_logging = config.enable_logging},
+      LogManager::Options{
+          .num_loggers = config.num_loggers,
+          .enable_logging = config.enable_logging,
+          .segment_bytes = config.wal_segment_bytes,
+          .checkpoint_threshold_bytes = config.checkpoint_threshold_bytes},
       env_, &runtime_->executor());
+  if (auto* cp = log_manager_->checkpoints();
+      cp != nullptr && cp->checkpointing_enabled()) {
+    // Fired from a logger strand when an actor's durable lag crosses the
+    // threshold; the checkpoint itself runs as a normal turn on the actor's
+    // strand and defers (skips) unless the actor is quiescent.
+    cp->SetRequestCheckpointFn([this](const ActorId& id) {
+      // coro-lint: allow(discarded-task) — fire-and-forget turn; the
+      // CheckpointManager is notified of the outcome via its own hooks.
+      runtime_->Call<TransactionalActor>(id, [](TransactionalActor& a) {
+        return a.MaybeCheckpoint();
+      });
+    });
+  }
 
   context_.config = config;
   context_.runtime = runtime_.get();
@@ -148,10 +164,15 @@ Result<RecoveryResult> SnapperRuntime::Recover() {
   auto result = RecoveryManager::Run(env_);
   if (!result.ok()) return result;
   tid_base_ = result.value().max_seen_id + 1;
+  context_.counters.recovery_time_us.fetch_add(
+      result.value().recovery_time_us);
+  context_.counters.recovery_replay_records.fetch_add(
+      result.value().replay_records);
 
-  // Re-persist every recovered state as a checkpoint before the (lazily
-  // opened, truncating) loggers discard the previous incarnation's log —
-  // otherwise a second crash would lose states recovered from the first.
+  // Re-persist every recovered state as a checkpoint into this
+  // incarnation's segments; only then may the previous incarnation's files
+  // be retired — otherwise a second crash would lose states recovered from
+  // the first.
   if (log_manager_->enabled()) {
     std::vector<Future<Status>> appends;
     for (const auto& [actor, state] : result.value().actor_states) {
@@ -165,9 +186,11 @@ Result<RecoveryResult> SnapperRuntime::Recover() {
       Status s = f.Get();
       if (!s.ok()) return s;
     }
+    log_manager_->RetireLegacyFiles();
   }
 
   context_.StageRecoveredStates(result.value().actor_states);
+  SyncWalCounters();
   return result;
 }
 
@@ -202,6 +225,10 @@ Future<TxnResult> SnapperRuntime::WithAdmission(
     std::function<Future<TxnResult>()> submit) {
   Status admit = admission_.Admit(cls);
   if (!admit.ok()) {
+    // Graceful degradation: shedding means the silo is saturated, so free
+    // memory by deactivating cold actors behind a durable checkpoint (at
+    // most one sweep in flight; no-op unless checkpointing is enabled).
+    MaybeShedColdActors();
     // Allocation-free shed: hand back a copy of the pre-resolved future
     // (see shed_pact_future_). Admit's own status carries the precise
     // cause, but materializing it per shed would make rejection as
@@ -313,6 +340,10 @@ void SnapperRuntime::ReactivateFromWal(const ActorId& id, uint64_t generation,
   std::optional<Value> state;
   auto result = RecoveryManager::Run(env_);
   if (result.ok()) {
+    context_.counters.recovery_time_us.fetch_add(
+        result.value().recovery_time_us);
+    context_.counters.recovery_replay_records.fetch_add(
+        result.value().replay_records);
     auto it = result.value().actor_states.find(id);
     if (it != result.value().actor_states.end()) {
       state = std::move(it->second);
@@ -327,6 +358,41 @@ void SnapperRuntime::ReactivateFromWal(const ActorId& id, uint64_t generation,
         return a.FinishReactivation(std::move(state), generation);
       });
   install.OnReady([done]() { done->TrySet(Unit{}); });
+}
+
+void SnapperRuntime::MaybeShedColdActors() {
+  auto* cp = log_manager_->checkpoints();
+  if (cp == nullptr || !cp->checkpointing_enabled()) return;
+  if (cold_shed_inflight_.exchange(true)) return;
+  constexpr size_t kColdShedBatch = 4;
+  auto candidates = cp->ColdActors(kColdShedBatch);
+  std::vector<Future<bool>> acks;
+  acks.reserve(candidates.size());
+  for (const auto& id : candidates) {
+    // An actor mid-kill already has no activation worth shedding.
+    if (context_.IsActorKilled(id)) continue;
+    acks.push_back(runtime_->Call<TransactionalActor>(
+        id,
+        [](TransactionalActor& a) { return a.CheckpointAndDeactivate(); }));
+  }
+  if (acks.empty()) {
+    cold_shed_inflight_.store(false);
+    return;
+  }
+  WhenAll(std::move(acks)).OnReady([this]() {
+    cold_shed_inflight_.store(false);
+  });
+}
+
+void SnapperRuntime::SyncWalCounters() {
+  const auto* cp = log_manager_->checkpoints();
+  if (cp == nullptr) return;
+  const CheckpointStats& stats = cp->stats();
+  context_.counters.checkpoints_taken.store(stats.checkpoints_durable.load());
+  context_.counters.checkpoint_lag_bytes.store(stats.lag_bytes.load());
+  context_.counters.wal_segments_truncated.store(
+      stats.segments_truncated.load());
+  context_.counters.wal_bytes_truncated.store(stats.bytes_truncated.load());
 }
 
 void SnapperRuntime::Shutdown() { runtime_->Shutdown(); }

@@ -11,6 +11,7 @@
 //   TxnResult r = f.Get();
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -107,16 +108,32 @@ class SnapperRuntime {
 
   SnapperContext& context() { return context_; }
   ActorRuntime& runtime() { return *runtime_; }
+  LogManager& log_manager() { return *log_manager_; }
   /// Admission counters (admitted / shed / in-flight high-watermarks) for
   /// the harness metrics JSON.
   const AdmissionController& admission() const { return admission_; }
   Env& env() { return *env_; }
   const SnapperConfig& config() const { return context_.config; }
 
+  /// Copies the CheckpointManager's counters (checkpoints taken, current
+  /// lag, truncated segments/bytes) into context().counters so harness
+  /// metrics see one coherent snapshot. Cheap; call before reading counters.
+  void SyncWalCounters();
+
+  /// Test hook: runs one checkpoint-then-deactivate sweep over the coldest
+  /// actors, as the admission shed path does when degraded.
+  void ShedColdActorsForTest() { MaybeShedColdActors(); }
+
   /// Drains workers and timers. Called by the destructor.
   void Shutdown();
 
  private:
+  /// Graceful degradation under overload: checkpoint-then-deactivate up to
+  /// a handful of the coldest actors (oldest durable activity), freeing
+  /// their memory while their next activation resumes from the staged
+  /// checkpoint without any WAL replay. One sweep in flight at a time;
+  /// no-op unless checkpointing is enabled.
+  void MaybeShedColdActors();
   Future<TxnResult> FailFastDegraded();
   /// A future pre-resolved with `status` — the typed fail-fast path shared
   /// by WAL-degraded and admission-shed submissions.
@@ -148,6 +165,7 @@ class SnapperRuntime {
   SnapperContext context_;
   uint64_t tid_base_ = 1;
   bool started_ = false;
+  std::atomic<bool> cold_shed_inflight_{false};
 };
 
 }  // namespace snapper

@@ -713,6 +713,9 @@ void TransactionalActor::CommitActLocal(uint64_t tid, uint64_t final_max_bs) {
   prepared_acts_.erase(tid);
   act_local_.erase(tid);
   NotifyQuiesce();
+  // See ReceiveBatchCommit: re-evaluate the checkpoint threshold now that
+  // the prepared snapshot is decided.
+  if (auto* cp = ctx.log_manager->checkpoints()) cp->Poke(id());
 }
 
 Task<void> TransactionalActor::ActAbort(uint64_t tid) {
@@ -852,7 +855,76 @@ Task<void> TransactionalActor::ReceiveBatchCommit(uint64_t bid) {
   }
   schedule_.MarkBatchCommitted(bid);
   batch_owner_.erase(bid);
+  // The commit promoted durable snapshot bytes into committed_state_ without
+  // a new append; if the actor now goes idle above the lag threshold, this
+  // is the last chance to ask for a checkpoint until its next write.
+  if (auto* cp = sctx().log_manager->checkpoints()) cp->Poke(id());
   co_return;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous checkpointing (wal/checkpoint.h)
+// ---------------------------------------------------------------------------
+
+bool TransactionalActor::QuiescentForCheckpoint() const {
+  // Quiescent turn boundary: nothing undecided lives on this actor —
+  // committed_state_ is the full image of every decided transaction, and
+  // every state record this actor ever logged belongs to a decided
+  // transaction, so a checkpoint of committed_state_ supersedes all of
+  // them. (An in-flight sub-batch or prepared ACT would make the
+  // checkpoint's coverage ambiguous, so we simply defer.)
+  return !failed() && !recovering_ && !aborting_ &&
+         active_invocations_ == 0 && pact_snapshots_.empty() &&
+         act_local_.empty() && prepared_acts_.empty() && lock_.IsFree();
+}
+
+LogRecord TransactionalActor::MakeCheckpointRecord() const {
+  LogRecord record;
+  record.type = LogRecordType::kCheckpoint;
+  record.actor = id();
+  record.state = committed_state_.Encode();
+  return record;
+}
+
+Task<bool> TransactionalActor::MaybeCheckpoint() {
+  DcheckOnStrand("MaybeCheckpoint");
+  auto& ctx = sctx();
+  auto* cp = ctx.log_manager->checkpoints();
+  if (cp == nullptr || !ctx.log_manager->enabled()) co_return false;
+  if (!QuiescentForCheckpoint()) {
+    cp->OnCheckpointSkipped(id());
+    co_return false;
+  }
+  // The append is posted from this turn, so it lands in the actor's log
+  // stream before any state record of a later turn — later writes correctly
+  // stay in the replay suffix. Other turns run while the flush is in
+  // flight; nothing stops the world.
+  const Status s = co_await ctx.log_manager->LoggerFor(id()).Append(
+      MakeCheckpointRecord());
+  if (!s.ok()) cp->OnCheckpointSkipped(id());
+  co_return s.ok();
+}
+
+Task<bool> TransactionalActor::CheckpointAndDeactivate() {
+  DcheckOnStrand("CheckpointAndDeactivate");
+  auto& ctx = sctx();
+  if (!ctx.log_manager->enabled() || !QuiescentForCheckpoint()) {
+    co_return false;
+  }
+  const Status s = co_await ctx.log_manager->LoggerFor(id()).Append(
+      MakeCheckpointRecord());
+  // Work may have arrived while the append was in flight; deactivating now
+  // would abandon it. Stay resident unless still fully quiescent.
+  if (!s.ok() || !QuiescentForCheckpoint()) co_return false;
+  ctx.StageRecoveredState(id(), committed_state_);
+  ctx.counters.cold_deactivations.fetch_add(1);
+  // Deactivate without a kill mark: the next call activates a fresh
+  // instance whose OnActivate picks up the staged state directly — no
+  // recovering_ window, no WAL replay. Self-eviction is safe: the runtime
+  // pins this zombie until Shutdown and posts OnKill as a separate turn.
+  // coro-lint: allow(discarded-task) — ActorRuntime::KillActor returns bool
+  runtime().KillActor(id());
+  co_return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@
 #include "snapper/lock_table.h"
 #include "snapper/snapper_context.h"
 #include "snapper/txn_types.h"
+#include "wal/log_format.h"
 
 namespace snapper {
 
@@ -101,6 +102,25 @@ class TransactionalActor : public ActorBase {
   Task<void> FinishReactivation(std::optional<Value> state,
                                 uint64_t generation);
 
+  // --- Asynchronous checkpointing (wal/checkpoint.h) -----------------------
+
+  /// Requested by the CheckpointManager once this actor's durable lag
+  /// crosses the threshold. If the actor is at a quiescent turn boundary
+  /// (no active invocations, no undecided speculative state), durably
+  /// appends a kCheckpoint record carrying committed_state_ and returns
+  /// true; otherwise reports a skip and returns false — the next durable
+  /// state record re-triggers the request. Never blocks other turns: the
+  /// append is awaited off-strand like any other WAL write.
+  Task<bool> MaybeCheckpoint();
+
+  /// Graceful-degradation step for cold actors under overload: persists a
+  /// checkpoint, stages it as this actor's recovered state, and deactivates
+  /// the actor (without a kill mark, so the next call transparently
+  /// re-activates from the staged state with no WAL replay). Returns false
+  /// — leaving the actor untouched — unless fully quiescent before and
+  /// after the checkpoint append.
+  Task<bool> CheckpointAndDeactivate();
+
   // --- Introspection (tests, benches) --------------------------------------
 
   const Value& state_for_test() const { return state_; }
@@ -167,6 +187,11 @@ class TransactionalActor : public ActorBase {
   Future<Status> WaitBatchOutcome(uint64_t bid);
   void NotifyQuiesce();
   bool QuiescedForAbort() const;
+  /// True at a turn boundary where state_ == committed_state_ and no
+  /// in-flight transaction holds undecided state here: safe to checkpoint.
+  bool QuiescentForCheckpoint() const;
+  /// Builds this actor's kCheckpoint record from committed_state_.
+  LogRecord MakeCheckpointRecord() const;
 
   /// Maps an arbitrary in-flight exception to the abort status presented to
   /// clients and the abort machinery.

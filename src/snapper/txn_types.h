@@ -281,6 +281,15 @@ struct MessageCounters {
   std::atomic<uint64_t> watchdog_act_resolutions{0};  ///< stuck-2PC re-resolves
   std::atomic<uint64_t> txn_deadline_aborts{0};
 
+  // Checkpoint / bounded-recovery counters (see wal/checkpoint.h).
+  std::atomic<uint64_t> recovery_time_us{0};  ///< summed WAL scan+replay time
+  std::atomic<uint64_t> recovery_replay_records{0};  ///< post-checkpoint suffix
+  std::atomic<uint64_t> checkpoints_taken{0};
+  std::atomic<uint64_t> checkpoint_lag_bytes{0};  ///< current gauge, not sum
+  std::atomic<uint64_t> wal_segments_truncated{0};
+  std::atomic<uint64_t> wal_bytes_truncated{0};
+  std::atomic<uint64_t> cold_deactivations{0};  ///< checkpoint-then-deactivate
+
   void Reset() {
     batch_msgs = 0;
     batch_completes = 0;
@@ -296,6 +305,13 @@ struct MessageCounters {
     watchdog_act_aborts = 0;
     watchdog_act_resolutions = 0;
     txn_deadline_aborts = 0;
+    recovery_time_us = 0;
+    recovery_replay_records = 0;
+    checkpoints_taken = 0;
+    checkpoint_lag_bytes = 0;
+    wal_segments_truncated = 0;
+    wal_bytes_truncated = 0;
+    cold_deactivations = 0;
   }
 };
 

@@ -31,6 +31,7 @@ void LogRecord::EncodeTo(std::string* dst) const {
   PutLengthPrefixed(dst, state);
   // prev_id + 1 so the common "no predecessor" case is one byte.
   PutVarint64(dst, prev_id + 1);
+  PutVarint64(dst, lsn);
 }
 
 bool LogRecord::DecodeFrom(std::string_view payload) {
@@ -56,6 +57,7 @@ bool LogRecord::DecodeFrom(std::string_view payload) {
   uint64_t prev_plus_one;
   if (!GetVarint64(&payload, &prev_plus_one)) return false;
   prev_id = prev_plus_one - 1;
+  if (!GetVarint64(&payload, &lsn)) return false;
   return payload.empty();
 }
 
@@ -72,6 +74,7 @@ std::string LogRecord::ToString() const {
   }
   if (prev_id != kNoLogId) out += " prev=" + std::to_string(prev_id);
   if (!state.empty()) out += " state_bytes=" + std::to_string(state.size());
+  if (lsn != 0) out += " lsn=" + std::to_string(lsn);
   return out;
 }
 

@@ -29,8 +29,15 @@ enum class LogRecordType : uint8_t {
   kActCommit = 7,       ///< Participant actor: tid.
   kActCoordCommit = 8,  ///< 2PC coordinator: tid.
   kActAbort = 9,        ///< Any party: tid (presumed abort: often omitted).
-  // --- Recovery ---
-  kCheckpoint = 10,     ///< Recovered committed state re-persisted on reopen.
+  // --- Checkpoints / recovery ---
+  /// A durable copy of an actor's committed state, written either online by
+  /// the CheckpointManager (at a quiescent turn boundary) or by Recover()
+  /// when it re-persists recovered states on reopen. Recovery replays only
+  /// the records after an actor's last checkpoint; WAL truncation retires
+  /// segments entirely covered by checkpoints. Torn-checkpoint detection is
+  /// the torn-tail rule: a checkpoint whose frame fails the CRC is ignored
+  /// and recovery falls back to the previous checkpoint (or raw records).
+  kCheckpoint = 10,
 };
 
 /// "No predecessor" sentinel for LogRecord::prev_id (same value as the
@@ -50,6 +57,11 @@ struct LogRecord {
   /// otherwise a durable successor could resurrect the effects of an aborted
   /// batch that its speculative snapshots embed.
   uint64_t prev_id = kNoLogId;
+  /// Global log sequence number, assigned per record at append time (0 when
+  /// logging without a CheckpointManager). LSNs are allocated on the owning
+  /// logger's strand, so within one log file they are strictly increasing —
+  /// the ordering WAL truncation's checkpoint-floor rule relies on.
+  uint64_t lsn = 0;
 
   void EncodeTo(std::string* dst) const;
   /// Decodes a payload (without framing). Returns false on malformed input.

@@ -7,6 +7,11 @@
 // are batched into the next flush (one write+sync for the whole group),
 // "constraining the number of log files, reducing random IO and amortizing
 // IO cost by batching".
+//
+// With a CheckpointManager attached, each logger also: stamps every record
+// with a global LSN at append time, rolls its file into fixed-size segments
+// at flush boundaries, and reports per-record durability so checkpoint lag
+// and segment truncation stay exact (see wal/checkpoint.h).
 #pragma once
 
 #include <atomic>
@@ -18,6 +23,7 @@
 #include "async/executor.h"
 #include "async/future.h"
 #include "common/status.h"
+#include "wal/checkpoint.h"
 #include "wal/env.h"
 #include "wal/log_format.h"
 
@@ -51,13 +57,24 @@ class WalHealth {
 
 class Logger {
  public:
-  /// `strand` must be dedicated to this logger. `health` (optional) receives
-  /// the outcome of every flush.
+  /// Single-file logger (tests, benches): writes `file_name`, no LSNs, no
+  /// segments. `strand` must be dedicated to this logger. `health`
+  /// (optional) receives the outcome of every flush.
   Logger(std::string file_name, Env* env, std::shared_ptr<Strand> strand,
          WalHealth* health = nullptr);
 
+  /// Segmented logger `index`, starting at segment `start_seq` (past the
+  /// previous incarnation's highest so its files are never overwritten).
+  /// Rolls at the first flush boundary where the current segment has
+  /// `segment_bytes` or more (0 = never) and reports segment lifecycle and
+  /// per-record durability to `checkpoints` (may be null).
+  Logger(size_t index, uint64_t start_seq, Env* env,
+         std::shared_ptr<Strand> strand, WalHealth* health,
+         CheckpointManager* checkpoints, size_t segment_bytes);
+
   /// Durably appends `record`; the future resolves after the enclosing group
-  /// flush has synced. Safe from any thread.
+  /// flush has synced. Safe from any thread. With a CheckpointManager the
+  /// record's `lsn` field is assigned on the strand at buffering time.
   Future<Status> Append(LogRecord record);
 
   /// Resolves when all appends enqueued so far are durable.
@@ -76,14 +93,22 @@ class Logger {
   Env* env_;
   std::shared_ptr<Strand> strand_;
   WalHealth* health_;
+  CheckpointManager* checkpoints_ = nullptr;
+  size_t segment_bytes_ = 0;
+  size_t index_ = 0;
+  uint64_t seq_ = 0;          ///< Current segment sequence (strand only).
+  size_t segment_written_ = 0;  ///< Durable bytes in the current segment.
+  bool segmented_ = false;
   /// Opened lazily on the first flush so that recovery can read the previous
-  /// incarnation's log before this one truncates it.
+  /// incarnation's log before this one writes (legacy single-file mode
+  /// truncates; segmented mode opens a fresh `wal-<index>-<seq>.log`).
   std::unique_ptr<WritableFile> file_;
   Status open_status_;
 
-  // Buffered frames + the promises awaiting their durability. Only touched
-  // on the strand.
+  // Buffered frames, their durability metadata, and the promises awaiting
+  // their flush. Only touched on the strand.
   std::string pending_;
+  std::vector<CheckpointManager::RecordMeta> pending_meta_;
   std::vector<Promise<Status>> waiters_;
   bool flush_scheduled_ = false;
 
@@ -101,6 +126,11 @@ class LogManager {
     /// When false, Append resolves immediately without any I/O — the
     /// "CC only" configurations of Fig. 12.
     bool enable_logging = true;
+    /// Segment roll size for each logger (0 = single growing segment that
+    /// is never truncated).
+    size_t segment_bytes = 0;
+    /// Per-actor checkpoint lag threshold (0 = no checkpoint requests).
+    size_t checkpoint_threshold_bytes = 0;
   };
 
   LogManager(Options options, Env* env, Executor* executor);
@@ -119,6 +149,15 @@ class LogManager {
   size_t num_loggers() const { return loggers_.size(); }
   Logger& logger(size_t i) { return *loggers_[i]; }
 
+  /// Checkpoint/truncation bookkeeping (null when logging is disabled).
+  CheckpointManager* checkpoints() { return checkpoints_.get(); }
+  const CheckpointManager* checkpoints() const { return checkpoints_.get(); }
+
+  /// Deletes the previous incarnation's WAL files. Call only after every
+  /// recovered state has been durably re-persisted as a checkpoint record in
+  /// this incarnation's segments. Returns the number of files deleted.
+  size_t RetireLegacyFiles();
+
   /// Aggregate device health across the logger group.
   WalHealth& health() { return health_; }
   const WalHealth& health() const { return health_; }
@@ -131,6 +170,7 @@ class LogManager {
  private:
   Options options_;
   WalHealth health_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
   std::vector<std::unique_ptr<Logger>> loggers_;
 };
 

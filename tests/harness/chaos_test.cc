@@ -105,12 +105,15 @@ std::string Describe(const ActorChaosReport& r) {
 // round. Every seed must terminate, conserve money, and keep acked-committed
 // transactions durable across kill/reactivation and the final silo crash.
 TEST(ActorChaosTest, SnapperSeededSweep) {
+  uint64_t checkpoints = 0;
   for (uint64_t k = 0; k < 24; ++k) {
     ActorChaosOptions options;
     options.seed = 9000 + k;
     ActorChaosReport report = RunSmallBankActorChaos(options);
-    EXPECT_TRUE(report.ok()) << "seed=" << options.seed << " "
-                             << Describe(report);
+    EXPECT_TRUE(report.ok())
+        << "seed=" << options.seed << " " << Describe(report) << "\n"
+        << ReplayCommand(options.seed, "tests/chaos_test",
+                         "ActorChaosTest.EnvSeedReplaySingleRound");
     EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
     EXPECT_GE(report.actor_kills, 1u) << "seed=" << options.seed;
     // Zombie pinning stays bounded across the round: each counted kill
@@ -118,20 +121,29 @@ TEST(ActorChaosTest, SnapperSeededSweep) {
     // registry (ISSUE satellite: a pinning leak would exceed this).
     EXPECT_LE(report.retired_activations, report.actor_kills)
         << "seed=" << options.seed;
+    checkpoints += report.checkpoints_taken;
   }
+  // The sweep runs with checkpointing on; across 24 seeds the root accounts
+  // must have crossed the threshold and persisted online checkpoints — the
+  // rounds above therefore recover from logs that mix checkpoint records
+  // with live traffic.
+  EXPECT_GT(checkpoints, 0u);
 }
 
 // Same sweep over the OrleansTxn baseline (ISSUE acceptance: both stacks).
 // The TA survives kills, so there is no in-doubt class: every ack is a
 // decided outcome the rebuilt state must agree with.
 TEST(ActorChaosTest, OtxnSeededSweep) {
+  uint64_t checkpoints = 0;
   for (uint64_t k = 0; k < 24; ++k) {
     ActorChaosOptions options;
     options.seed = 9100 + k;
     options.use_otxn = true;
     ActorChaosReport report = RunSmallBankActorChaos(options);
-    EXPECT_TRUE(report.ok()) << "seed=" << options.seed << " "
-                             << Describe(report);
+    EXPECT_TRUE(report.ok())
+        << "seed=" << options.seed << " " << Describe(report) << "\n"
+        << ReplayCommand(options.seed, "tests/chaos_test",
+                         "ActorChaosTest.EnvSeedReplaySingleRoundOtxn");
     EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
     EXPECT_EQ(report.in_doubt, 0) << "seed=" << options.seed;
     EXPECT_GE(report.actor_kills, 1u) << "seed=" << options.seed;
@@ -139,7 +151,12 @@ TEST(ActorChaosTest, OtxnSeededSweep) {
     // most, so the registry bound holds here too.
     EXPECT_LE(report.retired_activations, report.actor_kills)
         << "seed=" << options.seed;
+    checkpoints += report.checkpoints_taken;
   }
+  // As in the Snapper sweep: checkpointing is on, so across 24 seeds the
+  // rebuilt states above must have come from logs carrying checkpoint
+  // records and rolled segments.
+  EXPECT_GT(checkpoints, 0u);
 }
 
 // Scripted drop walked across the PACT batch protocol's droppable messages
@@ -194,6 +211,18 @@ TEST(ActorChaosTest, DroppedAct2pcMessageResolvedByWatchdog) {
 TEST(ActorChaosTest, EnvSeedReplaySingleRound) {
   ActorChaosOptions options;
   options.seed = ChaosSeed(/*fallback=*/9500);
+  ActorChaosReport report = RunSmallBankActorChaos(options);
+  EXPECT_TRUE(report.ok()) << "seed=" << options.seed << " "
+                           << Describe(report);
+  EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
+}
+
+// Same replay hook for the OrleansTxn sweep (its failure messages point
+// here, since the two sweeps run different stacks).
+TEST(ActorChaosTest, EnvSeedReplaySingleRoundOtxn) {
+  ActorChaosOptions options;
+  options.seed = ChaosSeed(/*fallback=*/9600);
+  options.use_otxn = true;
   ActorChaosReport report = RunSmallBankActorChaos(options);
   EXPECT_TRUE(report.ok()) << "seed=" << options.seed << " "
                            << Describe(report);

@@ -551,5 +551,151 @@ TEST(RecoveryManagerTest, MaxSeenIdCoversAllRecords) {
   EXPECT_EQ(result.value().max_seen_id, 123456u);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint cut + segment truncation edge cases (ISSUE: bounded recovery).
+// ---------------------------------------------------------------------------
+
+/// One committed ACT write for `actor`: prepare (with state) + coord commit.
+void AppendCommittedWrite(std::string* buf, const ActorId& actor, uint64_t tid,
+                          double value) {
+  LogRecord prepared;
+  prepared.type = LogRecordType::kActPrepare;
+  prepared.id = tid;
+  prepared.actor = actor;
+  prepared.state = Value(value).Encode();
+  FrameRecord(prepared, buf);
+  LogRecord commit;
+  commit.type = LogRecordType::kActCoordCommit;
+  commit.id = tid;
+  FrameRecord(commit, buf);
+}
+
+size_t AppendCheckpoint(std::string* buf, const ActorId& actor, double value) {
+  LogRecord checkpoint;
+  checkpoint.type = LogRecordType::kCheckpoint;
+  checkpoint.actor = actor;
+  checkpoint.state = Value(value).Encode();
+  const size_t before = buf->size();
+  FrameRecord(checkpoint, buf);
+  return buf->size() - before;
+}
+
+// State records before the actor's last checkpoint are skipped without
+// decoding: replay work is the checkpoint-to-tail suffix, not the history.
+TEST(RecoveryManagerTest, CheckpointCutBoundsReplayToSuffix) {
+  MemEnv env;
+  const ActorId actor{2, 5};
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("wal-0.log", &f).ok());
+    std::string buf;
+    for (uint64_t tid = 1; tid <= 10; ++tid) {
+      AppendCommittedWrite(&buf, actor, tid, 100.0 + tid);
+    }
+    AppendCheckpoint(&buf, actor, 110.0);  // image of tids 1..10
+    AppendCommittedWrite(&buf, actor, 11, 111.0);
+    f->Append(buf);
+    f->Sync();
+  }
+  auto result = RecoveryManager::Run(&env);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().actor_states.at(actor).AsDouble(), 111.0);
+  // 10 pre-checkpoint prepares skipped; everything else (10 commits,
+  // checkpoint, suffix prepare + commit) is scanned.
+  EXPECT_EQ(result.value().scanned_records, 23u);
+  EXPECT_EQ(result.value().replay_records, 13u);
+}
+
+// A checkpoint torn mid-write fails its frame CRC and is invisible:
+// recovery falls back to the previous checkpoint plus the decided suffix —
+// never a half-applied snapshot.
+TEST(RecoveryManagerTest, TornCheckpointFallsBackToPreviousCheckpoint) {
+  MemEnv env;
+  const ActorId actor{2, 5};
+  size_t last_checkpoint_bytes = 0;
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("wal-0.log", &f).ok());
+    std::string buf;
+    AppendCheckpoint(&buf, actor, 42.0);
+    AppendCommittedWrite(&buf, actor, 7, 50.0);
+    last_checkpoint_bytes = AppendCheckpoint(&buf, actor, 60.0);
+    f->Append(buf);
+    f->Sync();
+  }
+  // Sanity: untorn, the newest checkpoint wins.
+  auto before = RecoveryManager::Run(&env);
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before.value().actor_states.at(actor).AsDouble(), 60.0);
+
+  // Tear into (not exactly at) the newest checkpoint's frame: CRC fails,
+  // the scan stops, and the cut moves back to the older checkpoint.
+  env.CrashAllTorn(last_checkpoint_bytes - 3);
+  auto after = RecoveryManager::Run(&env);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().scanned_records, 3u);
+  EXPECT_DOUBLE_EQ(after.value().actor_states.at(actor).AsDouble(), 50.0);
+}
+
+/// Env in which a chosen file vanishes between ListFiles and ReadFile —
+/// exactly what an in-flight reactivation sees when truncation retires a
+/// fully-covered segment under it.
+class VanishingFileEnv : public Env {
+ public:
+  VanishingFileEnv(Env* base, std::string vanishes)
+      : base_(base), vanishes_(std::move(vanishes)) {}
+
+  Status NewWritableFile(const std::string& name,
+                         std::unique_ptr<WritableFile>* file) override {
+    return base_->NewWritableFile(name, file);
+  }
+  Status ReadFile(const std::string& name, std::string* out) override {
+    if (name == vanishes_) return Status::NotFound(name + " truncated");
+    return base_->ReadFile(name, out);
+  }
+  Status DeleteFile(const std::string& name) override {
+    return base_->DeleteFile(name);
+  }
+  bool FileExists(const std::string& name) override {
+    return base_->FileExists(name);
+  }
+  std::vector<std::string> ListFiles() override { return base_->ListFiles(); }
+
+ private:
+  Env* base_;
+  std::string vanishes_;
+};
+
+// Truncation racing recovery: a segment listed but deleted before it is
+// read must be treated as covered (its actors have later durable
+// checkpoints — that is the only reason it was deletable), not as an error.
+TEST(RecoveryManagerTest, TruncationRacingRecoverySkipsVanishedSegment) {
+  MemEnv base;
+  const ActorId actor{2, 5};
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(base.NewWritableFile("wal-0-000001.log", &f).ok());
+    std::string buf;
+    for (uint64_t tid = 1; tid <= 4; ++tid) {
+      AppendCommittedWrite(&buf, actor, tid, 100.0 + tid);
+    }
+    f->Append(buf);
+    f->Sync();
+  }
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(base.NewWritableFile("wal-0-000002.log", &f).ok());
+    std::string buf;
+    AppendCheckpoint(&buf, actor, 104.0);  // supersedes segment 1 entirely
+    f->Append(buf);
+    f->Sync();
+  }
+  VanishingFileEnv env(&base, "wal-0-000001.log");
+  auto result = RecoveryManager::Run(&env);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.value().actor_states.at(actor).AsDouble(), 104.0);
+  EXPECT_EQ(result.value().scanned_records, 1u);
+}
+
 }  // namespace
 }  // namespace snapper
