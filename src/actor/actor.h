@@ -28,6 +28,7 @@
 
 #include "common/mutex.h"
 #include "common/status.h"
+#include "common/trace_hooks.h"
 
 #include "actor/message_faults.h"
 #include "async/executor.h"
@@ -111,8 +112,27 @@ class ActorBase : public std::enable_shared_from_this<ActorBase> {
 
   /// True once this activation was fail-stop killed. Turns already queued on
   /// the strand still run (fail-stop granularity is the turn boundary);
-  /// subclasses gate their entry points on this.
-  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// subclasses gate their entry points on this. The observation is
+  /// cross-thread (the kill races running turns), so under an active trace
+  /// session it is recorded and forced on replay.
+  bool failed() const {
+    const bool physical = failed_.load(std::memory_order_acquire);
+    if (!trace::Active()) return physical;
+    return trace::DecisionBool(trace::Site::kActorFailed, physical);
+  }
+
+  /// 1-based activation generation of this instance: the k-th activation of
+  /// a given ActorId has generation k, across kills/reactivations. Stable
+  /// across record and replay (generation is allocated per id, not per
+  /// global activation order).
+  uint64_t activation_gen() const { return activation_gen_; }
+
+  /// Digest of the actor's replicated state for replay divergence detection
+  /// (DESIGN.md §4g). Called at turn boundaries on the actor's strand while
+  /// a trace session is active; 0 means "no digest". Override in
+  /// state-bearing actors with a stable hash (trace::HashBytes) of the
+  /// serialized state.
+  virtual uint64_t StateDigest() const { return 0; }
 
  private:
   friend class ActorRuntime;
@@ -120,6 +140,8 @@ class ActorBase : public std::enable_shared_from_this<ActorBase> {
   ActorRuntime* runtime_ = nullptr;
   std::shared_ptr<Strand> strand_;
   std::atomic<bool> failed_{false};
+  /// Written once, pre-publication, by GetOrActivate.
+  uint64_t activation_gen_ = 0;
 };
 
 /// In-process actor directory + scheduler.
@@ -184,14 +206,25 @@ class ActorRuntime {
     // Bounded mailbox (overload protection): shed sheddable messages once
     // the target's queue is at capacity, with a typed failure the sender can
     // distinguish from loss. Checked before fault injection so a shed
-    // message is never also dropped/duplicated.
-    if (guard == MsgGuard::kDroppable && mailbox_capacity_ != 0 &&
-        actor->strand_->QueueDepth() >= mailbox_capacity_) {
-      mailbox_rejections_.fetch_add(1, std::memory_order_relaxed);
-      return MakeOverloadedFuture<ResultT>(id);
+    // message is never also dropped/duplicated. The depth observation is
+    // schedule-dependent, so it is a recorded decision under tracing.
+    if (guard == MsgGuard::kDroppable && mailbox_capacity_ != 0) {
+      const bool shed =
+          trace::DecisionBool(trace::Site::kMailboxShed,
+                              actor->strand_->QueueDepth() >= mailbox_capacity_);
+      if (shed) {
+        mailbox_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return MakeOverloadedFuture<ResultT>(id);
+      }
     }
     uint32_t delay_ms = 0;
-    if (msg_faults_.active()) {
+    // Whether faults are armed flips mid-run (the harness clears them while
+    // trailing turns still execute), so the observation itself is recorded —
+    // otherwise record and replay could disagree on whether this call drew a
+    // fault verdict at all.
+    const bool faults_active =
+        trace::DecisionBool(trace::Site::kMsgFaultActive, msg_faults_.active());
+    if (faults_active) {
       const auto d = msg_faults_.Decide(guard);
       if (d.drop) {
         // Simulated loss: take the future, then let the unstarted task
@@ -204,7 +237,10 @@ class ActorRuntime {
       }
       delay_ms = d.delay_ms;
     }
-    if (delay_ms == 0 && max_delay_ms_ != 0) delay_ms = RandomDelayMs();
+    if (delay_ms == 0 && max_delay_ms_ != 0) {
+      delay_ms = static_cast<uint32_t>(
+          trace::DecisionU64(trace::Site::kInjectDelay, RandomDelayMs()));
+    }
     auto task = fn(*actor);
     if (delay_ms == 0) {
       return task.Start(actor->strand());
@@ -304,8 +340,26 @@ class ActorRuntime {
     Mutex mu;
     std::unordered_map<ActorId, std::shared_ptr<ActorBase>, ActorIdHash> map
         GUARDED_BY(mu);
+    /// Activation-generation counter per id: the k-th activation of an id
+    /// has generation k (1-based). Never reset — survives kills and crashes,
+    /// so an activation's identity (id, gen) is stable across record and
+    /// replay regardless of global activation order.
+    std::unordered_map<ActorId, uint64_t, ActorIdHash> gen GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Find-or-activate against live physical state (the untraced / record
+  /// path, and the replay divergence fallback).
+  std::shared_ptr<ActorBase> GetOrActivateLive(const ActorId& id, Shard& shard);
+  /// Constructs activation `gen` of `id` and publishes it; returns the
+  /// published activation (the racing winner on a lost race — same gen).
+  std::shared_ptr<ActorBase> ConstructAndPublish(const ActorId& id,
+                                                 Shard& shard, uint64_t gen);
+  /// Replay path: resolves the *recorded* activation generation — waiting
+  /// out not-yet-replayed kills, or digging a retired zombie out — so a
+  /// replayed dispatch reaches the same instance the recorded one did.
+  std::shared_ptr<ActorBase> ReplayActivation(const ActorId& id, Shard& shard,
+                                              uint64_t want);
 
   /// Evicted (killed / crashed) activations, kept allocated until Shutdown:
   /// in-flight coroutine frames hold plain `this` references to their actor,

@@ -1,6 +1,25 @@
 #include "actor/message_faults.h"
 
+#include "common/trace_hooks.h"
+
 namespace snapper {
+
+namespace {
+// Verdict packing for the kMsgFault decision record: bit 0 = drop, bit 1 =
+// duplicate, bits [32, 64) = delay_ms.
+uint64_t PackDecision(const MessageFaultInjector::Decision& d) {
+  return (static_cast<uint64_t>(d.delay_ms) << 32) |
+         (d.duplicate ? 2u : 0u) | (d.drop ? 1u : 0u);
+}
+
+MessageFaultInjector::Decision UnpackDecision(uint64_t packed) {
+  MessageFaultInjector::Decision d;
+  d.drop = (packed & 1) != 0;
+  d.duplicate = (packed & 2) != 0;
+  d.delay_ms = static_cast<uint32_t>(packed >> 32);
+  return d;
+}
+}  // namespace
 
 void MessageFaultInjector::FailNth(Action action, uint64_t n, bool sticky) {
   MutexLock lock(&mu_);
@@ -40,6 +59,27 @@ void MessageFaultInjector::RecomputeActive() {
 }
 
 MessageFaultInjector::Decision MessageFaultInjector::Decide(MsgGuard guard) {
+  if (trace::Replaying()) {
+    // Replay bypasses the RNG/script machinery entirely and forces the
+    // recorded verdict, mirroring the counters so fault-accounting
+    // comparisons hold.
+    const Decision d =
+        UnpackDecision(trace::DecisionU64(trace::Site::kMsgFault, 0));
+    messages_.fetch_add(1);
+    if (d.drop) dropped_.fetch_add(1);
+    if (d.duplicate) duplicated_.fetch_add(1);
+    if (d.delay_ms > 0) delayed_.fetch_add(1);
+    return d;
+  }
+  Decision decided = DecideLive(guard);
+  if (trace::Active()) {
+    trace::DecisionU64(trace::Site::kMsgFault, PackDecision(decided));
+  }
+  return decided;
+}
+
+MessageFaultInjector::Decision MessageFaultInjector::DecideLive(
+    MsgGuard guard) {
   MutexLock lock(&mu_);
   messages_.fetch_add(1);
   Decision d;

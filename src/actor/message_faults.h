@@ -65,7 +65,10 @@ class MessageFaultInjector {
   /// Disarms everything; counters keep their values.
   void ClearFaults();
 
-  /// Called by the runtime per dispatched message. Thread-safe.
+  /// Called by the runtime per dispatched message. Thread-safe. Under an
+  /// active trace session the verdict is recorded; on replay the recorded
+  /// verdict is forced (the RNG/script machinery is bypassed, counters are
+  /// mirrored).
   Decision Decide(MsgGuard guard);
 
   /// Fast path: false when no fault is armed, letting dispatch skip the
@@ -81,6 +84,7 @@ class MessageFaultInjector {
   }
 
  private:
+  Decision DecideLive(MsgGuard guard);
   void RecomputeActive() REQUIRES(mu_);
 
   Mutex mu_;

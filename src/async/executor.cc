@@ -66,10 +66,25 @@ void Executor::WorkerLoop() {
 }
 
 void Strand::Post(std::function<void()> fn) {
+  PostTagged(std::move(fn), trace::NextPostTag());
+}
+
+void Strand::PostTagged(std::function<void()> fn, trace::TurnTag tag) {
+  // Replay gating: a trace session may take ownership of the tagged turn and
+  // release it (via EnqueueForReplay) when the recorded schedule says so.
+  if (tag.traced() && trace::PostIntercepted(this, tag, &fn)) return;
+  Enqueue(std::move(fn), tag);
+}
+
+void Strand::EnqueueForReplay(std::function<void()> fn, trace::TurnTag tag) {
+  Enqueue(std::move(fn), tag);
+}
+
+void Strand::Enqueue(std::function<void()> fn, trace::TurnTag tag) {
   bool need_schedule = false;
   {
     MutexLock lock(&mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(TaggedTask{std::move(fn), tag});
     if (queue_.size() > max_depth_) max_depth_ = queue_.size();
     if (!scheduled_) {
       scheduled_ = true;
@@ -99,7 +114,7 @@ void Strand::Drain() {
   Strand* prev = tls_current_strand;
   tls_current_strand = this;
   for (int i = 0; i < kDrainBudget; ++i) {
-    std::function<void()> task;
+    TaggedTask task;
     {
       MutexLock lock(&mu_);
       if (queue_.empty()) {
@@ -110,7 +125,27 @@ void Strand::Drain() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const bool current = task.tag.traced() && trace::TagIsCurrent(task.tag);
+    trace::Hooks* hooks = current ? trace::GetHooks() : nullptr;
+    if (hooks != nullptr) {
+      // The one dispatch point every turn funnels through: record (or
+      // verify) global turn order here, and run the body under the turn's
+      // derived trace context so its draws are schedule-independent.
+      hooks->BeginTurn(this, task.tag);
+      {
+        trace::CtxScope scope(trace::TurnCtx(task.tag));
+        task.fn();
+      }
+      hooks->EndTurn(this, task.tag);
+    } else if (task.tag.traced() && !current && trace::Active()) {
+      // A turn tagged by a *previous* session (leaked runtime) running
+      // while a new session is attached: flag-scope the body so its draws
+      // are visibly unattributed instead of polluting the new trace.
+      trace::CtxScope scope(trace::kUnattributedCtxBit);
+      task.fn();
+    } else {
+      task.fn();
+    }
   }
   tls_current_strand = prev;
   // Budget exhausted with work remaining: yield the worker, requeue.

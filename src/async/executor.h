@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/trace_hooks.h"
 
 namespace snapper {
 
@@ -62,8 +64,21 @@ class Strand : public std::enable_shared_from_this<Strand> {
  public:
   explicit Strand(Executor* executor) : executor_(executor) {}
 
-  /// Enqueues `fn` on this strand. Safe from any thread.
+  /// Enqueues `fn` on this strand. Safe from any thread. One queued task ==
+  /// one turn; under an active trace session the task carries a turn tag
+  /// drawn from the poster's context (record), and a replay session may
+  /// withhold it until the recorded schedule reaches its slot.
   void Post(std::function<void()> fn);
+
+  /// Post with an explicit, caller-derived turn tag. Used where the tag must
+  /// be a pure function of stable identity rather than of the posting
+  /// thread's context (e.g. an actor's OnActivate turn is tagged by
+  /// (actor id, activation generation) so racing activators agree).
+  void PostTagged(std::function<void()> fn, trace::TurnTag tag);
+
+  /// Replay-session release path: enqueues a previously withheld turn,
+  /// bypassing the OnPost gate. Only TraceSession calls this.
+  void EnqueueForReplay(std::function<void()> fn, trace::TurnTag tag);
 
   /// The strand currently executing on this thread, or nullptr if the caller
   /// is not inside a strand task. Used by coroutine awaiters to resume on the
@@ -80,7 +95,30 @@ class Strand : public std::enable_shared_from_this<Strand> {
   /// high-watermark the overload harness asserts against its bounds.
   size_t MaxQueueDepth() const;
 
+  /// Trace identity of this strand (0 = untraced). Set once by the creator
+  /// (ActorRuntime derives it from (actor id, activation generation)) before
+  /// the strand's first turn.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
+  /// Installs the per-turn state digest provider for divergence detection
+  /// (called at activation, before the first turn; runs on this strand at
+  /// turn boundaries). Return 0 for "no digest".
+  void set_digest_fn(std::function<uint64_t()> fn) {
+    digest_fn_ = std::move(fn);
+  }
+
+  /// Digest of the owning actor's state, or 0 if no provider is installed.
+  /// Called by the trace session at EndTurn, on this strand.
+  uint64_t RunDigest() const { return digest_fn_ ? digest_fn_() : 0; }
+
  private:
+  struct TaggedTask {
+    std::function<void()> fn;
+    trace::TurnTag tag;
+  };
+
+  void Enqueue(std::function<void()> fn, trace::TurnTag tag);
   void ScheduleDrain();
   void Drain();
 
@@ -88,8 +126,11 @@ class Strand : public std::enable_shared_from_this<Strand> {
   static constexpr int kDrainBudget = 32;
 
   Executor* executor_;
+  /// Written by the creator before the strand is shared; read-only after.
+  uint64_t trace_id_ = 0;
+  std::function<uint64_t()> digest_fn_;
   mutable Mutex mu_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::deque<TaggedTask> queue_ GUARDED_BY(mu_);
   bool scheduled_ GUARDED_BY(mu_) = false;  // a drain job is queued or running
   size_t max_depth_ GUARDED_BY(mu_) = 0;
 };

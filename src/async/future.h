@@ -17,6 +17,7 @@
 
 #include "async/executor.h"
 #include "common/mutex.h"
+#include "common/trace_hooks.h"
 
 namespace snapper {
 
@@ -54,13 +55,22 @@ class FutureState {
     (void)won;
   }
 
-  /// First-wins resolution; returns false if already resolved.
+  /// First-wins resolution; returns false if already resolved. Under an
+  /// active trace session the race is recorded (and on replay, forced):
+  /// a replay session vetoes attempts the recorded run lost, so contested
+  /// resolutions — watchdog-vs-result, WhenAll's last resolver — land the
+  /// same way they did during capture.
   bool TrySet(V v) {
     std::vector<std::function<void()>> conts;
     {
       MutexLock lock(&mu_);
-      if (value_.index() != 0) return false;
+      if (value_.index() != 0) {
+        trace::TrySetOutcome(trace_id_, false);
+        return false;
+      }
+      if (!trace::TrySetAllowed(trace_id_)) return false;
       value_.template emplace<1>(std::move(v));
+      trace::TrySetOutcome(trace_id_, true);
       conts.swap(continuations_);
       // Notify while holding mu_: a waiter in Wait() may own the last
       // external reference and destroy this state as soon as it returns, so
@@ -75,8 +85,13 @@ class FutureState {
     std::vector<std::function<void()>> conts;
     {
       MutexLock lock(&mu_);
-      if (value_.index() != 0) return false;
+      if (value_.index() != 0) {
+        trace::TrySetOutcome(trace_id_, false);
+        return false;
+      }
+      if (!trace::TrySetAllowed(trace_id_)) return false;
       value_.template emplace<2>(std::move(e));
+      trace::TrySetOutcome(trace_id_, true);
       conts.swap(continuations_);
       cv_.NotifyAll();  // under mu_; see TrySet
     }
@@ -85,8 +100,12 @@ class FutureState {
   }
 
   /// Runs `cb` when resolved (immediately if already resolved). `cb` runs on
-  /// the resolving thread; post to a strand inside it if needed.
+  /// the resolving thread; post to a strand inside it if needed. Under an
+  /// active trace session the callback is pinned to a context derived from
+  /// the *attaching* thread, so its draws (and any turns it posts) have the
+  /// same identity no matter which thread ends up resolving the future.
   void OnReady(std::function<void()> cb) {
+    cb = trace::WrapContinuation(std::move(cb));
     {
       MutexLock lock(&mu_);
       if (value_.index() == 0) {
@@ -131,7 +150,12 @@ class FutureState {
     return value_.index() == 2 ? std::get<2>(value_) : nullptr;
   }
 
+  /// Trace identity (0 when created outside an active session). Drawn from
+  /// the creating context at construction, so record and replay agree.
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
+  const uint64_t trace_id_ = trace::NewFutureId();
   mutable Mutex mu_;
   mutable CondVar cv_;
   std::variant<std::monostate, V, std::exception_ptr> value_ GUARDED_BY(mu_);
@@ -177,7 +201,12 @@ class Future {
   auto operator co_await() const {
     struct Awaiter {
       std::shared_ptr<FutureState<T>> st;
-      bool await_ready() const { return st->ready(); }
+      // Under tracing the suspend/resume *structure* must not depend on a
+      // timing-sensitive ready() observation, so the fast path is disabled
+      // and every await takes the deterministic OnReady route.
+      bool await_ready() const {
+        return !trace::ForceSuspend() && st->ready();
+      }
       void await_suspend(std::coroutine_handle<> h) {
         Strand* cur = Strand::Current();
         assert(cur != nullptr && "co_await Future outside a strand");

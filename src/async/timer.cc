@@ -10,6 +10,24 @@ TimerService::~TimerService() { Stop(); }
 
 TimerId TimerService::Schedule(std::chrono::microseconds delay,
                                std::function<void()> fn) {
+  if (trace::Active()) {
+    // Pin the callback to a timer-flagged context derived from the
+    // scheduling context: its draws (and post tags) are then deterministic,
+    // and the replayer can recognize firings the recorded run never saw.
+    // The pin is only valid for the session it was derived under — a timer
+    // chain surviving into a later session (leaked runtime) must run
+    // unattributed, not impersonate a context the new session may derive.
+    const uint64_t ctx = trace::DeriveTimerCtx();
+    const uint64_t gen = trace::SessionGen();
+    fn = [ctx, gen, fn = std::move(fn)]() {
+      // Flag-scoped when stale, so draws inside are visibly unattributed
+      // rather than colliding with legitimate unscoped (ctx 0) work.
+      trace::CtxScope scope(trace::SessionGen() == gen
+                                ? ctx
+                                : trace::kUnattributedCtxBit);
+      fn();
+    };
+  }
   const auto deadline = Clock::now() + delay;
   TimerId id;
   {
@@ -24,6 +42,12 @@ TimerId TimerService::Schedule(std::chrono::microseconds delay,
 }
 
 bool TimerService::Cancel(TimerId id) {
+  // During replay every timer fires: whether a recorded cancel (e.g. "result
+  // beat the watchdog") happens again depends on wall-clock timing, and a
+  // fired-but-recorded-cancelled timer is harmless — its turns are dropped
+  // as unrecorded and its TrySets vetoed by the gate. Cancelling here could
+  // instead starve a *recorded* timeout path of its firing.
+  if (trace::Replaying()) return false;
   MutexLock lock(&mu_);
   auto it = timers_.find(id);
   if (it == timers_.end()) return false;
@@ -84,8 +108,11 @@ void TimerService::Loop() {
 Future<Status> AwaitStatusWithTimeout(TimerService& timers, Future<Status> f,
                                       std::chrono::milliseconds timeout) {
   // Fast path: already resolved (uncontended locks, empty schedules) — no
-  // timer bookkeeping needed.
-  if (f.ready()) return f;
+  // timer bookkeeping needed. Disabled under tracing: whether ready() is
+  // observed true here is timing-sensitive, and this branch returns `f`
+  // itself (no fresh state), which would desynchronize the record and
+  // replay runs' context draws.
+  if (!trace::Active() && f.ready()) return f;
   auto state = std::make_shared<FutureState<Status>>();
   TimerId id = timers.Schedule(timeout, [state] {
     state->TrySet(Status::TimedOut("wait timed out"));

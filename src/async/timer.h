@@ -75,7 +75,10 @@ Future<T> AwaitWithFallback(TimerService& timers, Future<T> f,
                             WrapVoid<T> fallback,
                             std::function<void()> on_timeout = nullptr) {
   auto state = std::make_shared<FutureState<T>>();
-  if (f.ready()) {
+  // Fast path disabled under tracing: the ready() observation is
+  // timing-sensitive and must not change the structure of context draws
+  // between record and replay (see AwaitStatusWithTimeout).
+  if (!trace::Active() && f.ready()) {
     try {
       state->TrySet(f.Peek());
     } catch (...) {

@@ -2,13 +2,62 @@
 
 #include <algorithm>
 
+#include "common/trace_hooks.h"
+
 namespace snapper {
 
+namespace {
+// kAdmission decision verdicts. Occupancy depends on when in-flight work
+// releases its tokens — schedule-dependent — so the *outcome* is recorded
+// and forced on replay (with counters mirrored).
+constexpr uint64_t kVerdictAdmit = 0;
+constexpr uint64_t kVerdictBudget = 1;
+constexpr uint64_t kVerdictDegraded = 2;
+}  // namespace
+
 Status AdmissionController::Admit(TxnClass cls) {
+  if (trace::Replaying()) {
+    const uint64_t verdict =
+        trace::DecisionU64(trace::Site::kAdmission, kVerdictAdmit);
+    MutexLock lock(&mu_);
+    if (cls == TxnClass::kPact) {
+      if (verdict != kVerdictAdmit) {
+        shed_pact_++;
+        return Status::Overloaded("pact budget");
+      }
+      inflight_pact_++;
+      max_inflight_pact_ = std::max(max_inflight_pact_, inflight_pact_);
+      admitted_pact_++;
+      return Status::OK();
+    }
+    if (verdict == kVerdictBudget) {
+      shed_act_++;
+      return Status::Overloaded("act budget");
+    }
+    if (verdict == kVerdictDegraded) {
+      shed_act_++;
+      shed_act_degraded_++;
+      return Status::Overloaded("act degraded");
+    }
+    inflight_act_++;
+    max_inflight_act_ = std::max(max_inflight_act_, inflight_act_);
+    admitted_act_++;
+    return Status::OK();
+  }
+  uint64_t verdict = kVerdictAdmit;
+  Status s = AdmitLive(cls, &verdict);
+  if (trace::Active()) {
+    trace::DecisionU64(trace::Site::kAdmission, verdict);
+  }
+  return s;
+}
+
+Status AdmissionController::AdmitLive(TxnClass cls, uint64_t* verdict) {
   MutexLock lock(&mu_);
   if (cls == TxnClass::kPact) {
     if (options_.pact_tokens != 0 && inflight_pact_ >= options_.pact_tokens) {
       shed_pact_++;
+      *verdict = kVerdictBudget;
       // Shed messages stay under the SSO threshold: the reject path runs at
       // full offered load during overload and must not allocate.
       return Status::Overloaded("pact budget");
@@ -21,6 +70,7 @@ Status AdmissionController::Admit(TxnClass cls) {
   if (options_.act_tokens != 0) {
     if (inflight_act_ >= options_.act_tokens) {
       shed_act_++;
+      *verdict = kVerdictBudget;
       return Status::Overloaded("act budget");
     }
     // Shed-ACTs-first: past the combined-occupancy threshold the remaining
@@ -32,6 +82,7 @@ Status AdmissionController::Admit(TxnClass cls) {
           options_.degrade_threshold * static_cast<double>(TotalBudget())) {
         shed_act_++;
         shed_act_degraded_++;
+        *verdict = kVerdictDegraded;
         return Status::Overloaded("act degraded");
       }
     }

@@ -73,6 +73,8 @@ class AdmissionController {
   const Options& options() const { return options_; }
 
  private:
+  Status AdmitLive(TxnClass cls, uint64_t* verdict);
+
   size_t TotalBudget() const {
     return options_.pact_tokens + options_.act_tokens;
   }

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "otxn/otxn_runtime.h"
 #include "snapper/snapper_runtime.h"
+#include "trace/trace_session.h"
 #include "wal/checkpoint.h"
 #include "wal/fault_env.h"
 #include "workloads/smallbank.h"
@@ -248,6 +249,9 @@ std::string ActorChaosReport::ToJson() const {
      << ",\"wal_bytes_truncated\":" << wal_bytes_truncated
      << ",\"recovery_replay_records\":" << recovery_replay_records
      << ",\"recovery_time_us\":" << recovery_time_us
+     << ",\"trace_turns\":" << trace_turns
+     << ",\"trace_path\":\"" << trace_path << "\""
+     << ",\"trace_divergence\":\"" << trace_divergence << "\""
      << ",\"total_balance\":" << total_balance
      << ",\"expected_total\":" << expected_total
      << ",\"ok\":" << (ok() ? "true" : "false") << "}";
@@ -321,6 +325,51 @@ struct ArrivalGate {
   int remaining GUARDED_BY(mu) = 0;
 };
 
+/// Opens the trace session requested by `options` (replay wins over record)
+/// and attaches its hooks. Returns false — with report.violation set — when
+/// a replay trace fails to load. Call *before* constructing the runtime so
+/// its construction-time posts are part of the trace; the session must be
+/// declared before the runtime so it is destroyed after it.
+bool OpenTraceSession(const ActorChaosOptions& options,
+                      ActorChaosReport& report,
+                      std::unique_ptr<trace::TraceSession>* session) {
+  if (!options.replay_trace_path.empty()) {
+    std::string error;
+    *session = trace::TraceSession::Replay(options.replay_trace_path, &error);
+    if (*session == nullptr) {
+      report.violation = "replay trace load: " + error;
+      return false;
+    }
+  } else if (!options.record_trace_path.empty()) {
+    *session = trace::TraceSession::Record(options.record_trace_path);
+  }
+  if (*session != nullptr) {
+    report.trace_path = (*session)->path();
+    (*session)->Attach();
+  }
+  return true;
+}
+
+/// Appends (record) or checks (replay) the deterministic counter snapshot,
+/// detaches the hooks, and copies the trace outcome into the report. Only
+/// outcome counters that are fixed once the submitted futures resolve are
+/// compared — msgs_* / reactivation / checkpoint counters keep moving with
+/// trailing turns after the ack and are cut-point-sensitive (DESIGN.md §4g);
+/// per-turn state digests carry the bit-identical claim for those paths.
+void FinishTraceSession(std::unique_ptr<trace::TraceSession>& session,
+                        ActorChaosReport& report) {
+  if (session == nullptr) return;
+  session->CheckOrRecordCounters(
+      {{"committed", static_cast<uint64_t>(report.committed)},
+       {"aborted", static_cast<uint64_t>(report.aborted)},
+       {"in_doubt", static_cast<uint64_t>(report.in_doubt)},
+       {"unresolved", static_cast<uint64_t>(report.unresolved)},
+       {"actor_kills", report.actor_kills}});
+  session->Detach();
+  report.trace_turns = session->turn_count();
+  report.trace_divergence = session->divergence();
+}
+
 ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   ActorChaosReport report;
   Rng rng(options.seed);
@@ -337,6 +386,11 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   config.checkpoint_threshold_bytes = options.checkpoint_threshold_bytes;
   const int num_accounts = options.num_roots + options.num_txns;
   report.expected_total = kPerAccount * num_accounts;
+
+  // Declared before the runtime: in-flight turns may still be inside hook
+  // calls until the workers park, so the session must be destroyed last.
+  std::unique_ptr<trace::TraceSession> session;
+  if (!OpenTraceSession(options, report, &session)) return report;
 
   // Leaked (released, not destroyed) if the watchdog expires; see
   // RunSmallBankChaos.
@@ -417,6 +471,15 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
       report.txn_deadline_aborts = hc.txn_deadline_aborts.load();
       report.checkpoints_taken = hc.checkpoints_taken.load();
       report.recovery_replay_records = hc.recovery_replay_records.load();
+      if (session != nullptr) {
+        // Uninstall the hooks (a record-mode Detach still writes the partial
+        // trace for post-mortem), then leak the session alongside the
+        // runtime: leaked workers may hold references into it.
+        session->Detach();
+        report.trace_turns = session->turn_count();
+        report.trace_divergence = session->divergence();
+        session.release();
+      }
       rt.release();  // deliberate leak, see above
       return report;
     }
@@ -454,6 +517,9 @@ ActorChaosReport RunSnapperActorChaos(const ActorChaosOptions& options) {
   report.wal_bytes_truncated = counters.wal_bytes_truncated.load();
   report.recovery_replay_records = counters.recovery_replay_records.load();
   report.recovery_time_us = counters.recovery_time_us.load();
+
+  // End of the traced window: phase 2 (crash + recovery) runs untraced.
+  FinishTraceSession(session, report);
 
   // --- Phase 2: silo crash, recover from the WAL, check invariants. This
   // verifies that kill/reactivate cycles and message faults left a log from
@@ -535,6 +601,10 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
   const int num_accounts = options.num_roots + options.num_txns;
   report.expected_total = kPerAccount * num_accounts;
 
+  // Declared before the runtime; see RunSnapperActorChaos.
+  std::unique_ptr<trace::TraceSession> session;
+  if (!OpenTraceSession(options, report, &session)) return report;
+
   auto rt = std::make_unique<otxn::OtxnRuntime>(config, &env);
   const uint32_t type =
       rt->RegisterActorType("SmallBankAccount", [](uint64_t) {
@@ -581,6 +651,12 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
          << " futures unresolved after " << options.watchdog_seconds << "s";
       report.violation = os.str();
       CopyFaultCounters(faults, report);
+      if (session != nullptr) {
+        session->Detach();
+        report.trace_turns = session->turn_count();
+        report.trace_divergence = session->divergence();
+        session.release();  // leaked with the runtime, see above
+      }
       rt.release();  // deliberate leak, see RunSmallBankChaos
       return report;
     }
@@ -601,6 +677,13 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
 
   faults.ClearFaults();
   CopyFaultCounters(faults, report);
+
+  // End of the traced window: the kill-all sweep below retries Balance on a
+  // wall-clock schedule the trace cannot reproduce. actor_kills is still 0
+  // in the report here (otxn kill acks are fire-and-forget); it is recorded
+  // as 0 on capture and compared against 0 on replay — vacuous but
+  // harmless, and keeps one counter set across both stacks.
+  FinishTraceSession(session, report);
 
   // --- Final kill-all: every account's state must rebuild purely from the
   // WAL plus the TA's decision table. This also clears any residue of
@@ -676,8 +759,19 @@ ActorChaosReport RunOtxnActorChaos(const ActorChaosOptions& options) {
 }  // namespace
 
 ActorChaosReport RunSmallBankActorChaos(const ActorChaosOptions& options) {
-  return options.use_otxn ? RunOtxnActorChaos(options)
-                          : RunSnapperActorChaos(options);
+  ActorChaosOptions opts = options;
+  if (opts.replay_trace_path.empty()) {
+    const char* rp = std::getenv("SNAPPER_REPLAY_TRACE");
+    if (rp != nullptr && *rp != '\0') opts.replay_trace_path = rp;
+  }
+  if (opts.replay_trace_path.empty() && opts.record_trace_path.empty()) {
+    const std::string dir = TraceDir();
+    if (!dir.empty()) {
+      opts.record_trace_path = trace::TracePathFor(
+          dir, opts.use_otxn ? "otxn" : "snapper", opts.seed);
+    }
+  }
+  return opts.use_otxn ? RunOtxnActorChaos(opts) : RunSnapperActorChaos(opts);
 }
 
 // ---------------------------------------------------------------------------
@@ -892,6 +986,20 @@ std::string ReplayCommand(uint64_t seed, const std::string& test_binary,
   std::ostringstream os;
   os << "replay: SNAPPER_CHAOS_SEED=" << seed << " ./" << test_binary
      << " --gtest_filter='" << gtest_filter << "'";
+  return os.str();
+}
+
+std::string TraceDir() {
+  const char* v = std::getenv("SNAPPER_TRACE_DIR");
+  return (v == nullptr) ? std::string() : std::string(v);
+}
+
+std::string TraceReplayCommand(const std::string& trace_path,
+                               const std::string& test_binary,
+                               const std::string& gtest_filter) {
+  std::ostringstream os;
+  os << "deterministic replay: SNAPPER_REPLAY_TRACE=" << trace_path << " ./"
+     << test_binary << " --gtest_filter='" << gtest_filter << "'";
   return os.str();
 }
 

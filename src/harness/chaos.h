@@ -125,6 +125,15 @@ struct ActorChaosOptions {
   // 0 to run the legacy no-checkpoint configuration.
   size_t wal_segment_bytes = 4096;
   size_t checkpoint_threshold_bytes = 96;
+
+  // Deterministic record & replay (src/trace/, DESIGN.md §4g).
+  /// Capture the round's schedule/decision trace to this file; empty = no
+  /// capture. RunSmallBankActorChaos derives a path from SNAPPER_TRACE_DIR
+  /// when this is empty and that variable is set.
+  std::string record_trace_path;
+  /// Replay the round from a previously captured trace; empty = live run.
+  /// Wins over record_trace_path. SNAPPER_REPLAY_TRACE seeds it likewise.
+  std::string replay_trace_path;
 };
 
 struct ActorChaosReport {
@@ -160,6 +169,11 @@ struct ActorChaosReport {
   double total_balance = 0;
   double expected_total = 0;
   std::string violation;  ///< empty iff all invariants held
+
+  // Record & replay (empty / 0 when no trace session ran).
+  std::string trace_path;        ///< trace file captured or replayed
+  std::string trace_divergence;  ///< first divergence found during replay
+  uint64_t trace_turns = 0;      ///< turns recorded / replayed
 
   bool ok() const { return violation.empty(); }
   /// One-line JSON of the counters above (harness metrics output).
@@ -237,5 +251,16 @@ uint64_t ChaosSeed(uint64_t fallback);
 /// reproducible by copy-paste.
 std::string ReplayCommand(uint64_t seed, const std::string& test_binary,
                           const std::string& gtest_filter);
+
+/// The SNAPPER_TRACE_DIR environment variable (empty if unset): directory
+/// into which chaos rounds capture deterministic traces.
+std::string TraceDir();
+
+/// Deterministic-replay command for a captured trace: the exact command that
+/// re-executes the recorded schedule via SNAPPER_REPLAY_TRACE. Sweep
+/// failures print it next to the seed line when a trace was captured.
+std::string TraceReplayCommand(const std::string& trace_path,
+                               const std::string& test_binary,
+                               const std::string& gtest_filter);
 
 }  // namespace snapper::harness

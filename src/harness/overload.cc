@@ -10,14 +10,31 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "harness/chaos.h"
 #include "harness/client.h"
 #include "harness/metrics.h"
 #include "otxn/otxn_runtime.h"
 #include "snapper/snapper_runtime.h"
+#include "trace/trace_session.h"
 #include "workloads/smallbank.h"
 
 namespace snapper::harness {
 namespace {
+
+/// Record-only SNAPPER_TRACE_DIR capture for the ramp (see
+/// OverloadRampReport::trace_path). Returns nullptr when the env var is
+/// unset.
+std::unique_ptr<trace::TraceSession> OpenRampCapture(const std::string& label,
+                                                     uint64_t seed,
+                                                     std::string* trace_path) {
+  const std::string dir = TraceDir();
+  if (dir.empty()) return nullptr;
+  auto session =
+      trace::TraceSession::Record(trace::TracePathFor(dir, label, seed));
+  *trace_path = session->path();
+  session->Attach();
+  return session;
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -261,6 +278,11 @@ OverloadRampReport RunSnapperOverloadRamp(const OverloadRampOptions& options) {
   config.admission_degrade_threshold = options.degrade_threshold;
   config.mailbox_capacity = capacity;
 
+  // Declared before the runtime so it is destroyed after it (in-flight
+  // turns may be inside hook calls until the workers park).
+  std::unique_ptr<trace::TraceSession> session =
+      OpenRampCapture("overload-snapper", options.seed, &report.trace_path);
+
   // Leaked (released, not destroyed) if the drain watchdog expires: joining
   // workers blocked on a hung future would turn the reported violation into
   // a test binary timeout (same pattern as the chaos harness).
@@ -308,9 +330,14 @@ OverloadRampReport RunSnapperOverloadRamp(const OverloadRampOptions& options) {
        << " ramp futures unresolved after " << options.watchdog_seconds
        << "s";
     report.violation = os.str();
+    if (session != nullptr) {
+      session->Detach();  // writes the partial trace for post-mortem
+      session.release();  // leaked with the runtime
+    }
     rt.release();  // deliberate leak, see above
     return report;
   }
+  if (session != nullptr) session->Detach();
 
   std::ostringstream violations;
   violations.precision(15);
@@ -359,6 +386,10 @@ OverloadRampReport RunOtxnOverloadRamp(const OverloadRampOptions& options) {
       std::max<size_t>(1, (options.pact_tokens + options.act_tokens) / 2);
   config.mailbox_capacity = capacity;
 
+  // Declared before the runtime; see RunSnapperOverloadRamp.
+  std::unique_ptr<trace::TraceSession> session =
+      OpenRampCapture("overload-otxn", options.seed, &report.trace_path);
+
   auto rt = std::make_unique<otxn::OtxnRuntime>(config);
   const uint32_t type =
       rt->RegisterActorType("SmallBankAccount", [](uint64_t) {
@@ -394,9 +425,14 @@ OverloadRampReport RunOtxnOverloadRamp(const OverloadRampOptions& options) {
        << " ramp futures unresolved after " << options.watchdog_seconds
        << "s";
     report.violation = os.str();
+    if (session != nullptr) {
+      session->Detach();  // writes the partial trace for post-mortem
+      session.release();  // leaked with the runtime
+    }
     rt.release();  // deliberate leak, see RunSnapperOverloadRamp
     return report;
   }
+  if (session != nullptr) session->Detach();
 
   std::ostringstream violations;
   violations.precision(15);
@@ -446,6 +482,7 @@ std::string OverloadRampReport::ToJson() const {
      << ",\"max_mailbox_depth\":" << max_mailbox_depth
      << ",\"mailbox_rejections\":" << mailbox_rejections
      << ",\"max_ta_queue_depth\":" << max_ta_queue_depth
+     << ",\"trace_path\":\"" << trace_path << "\""
      << ",\"total_balance\":" << total_balance
      << ",\"expected_total\":" << expected_total
      << ",\"ok\":" << (ok() ? "true" : "false") << "}";

@@ -82,6 +82,10 @@ struct OverloadRampReport {
 
   double total_balance = 0;
   double expected_total = 0;
+  /// Trace file captured when SNAPPER_TRACE_DIR is set (record-only: the
+  /// open-loop pacer is wall-clock-driven, so a ramp trace is a post-mortem
+  /// artifact, not a replayable one).
+  std::string trace_path;
   std::string violation;  ///< empty iff all invariants held
 
   bool ok() const { return violation.empty(); }

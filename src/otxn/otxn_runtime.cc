@@ -514,17 +514,34 @@ void OtxnRuntime::SyncWalCounters() {
 }
 
 bool OtxnRuntime::IsActorKilled(const ActorId& id) const {
-  MutexLock lock(&kill_mu_);
-  return kill_marks_.count(id) > 0;
+  // Marks are set by the harness kill thread and read by turns: recorded
+  // under an active trace session, forced on replay (mirrors
+  // SnapperContext's kill marks).
+  bool physical;
+  {
+    MutexLock lock(&kill_mu_);
+    physical = kill_marks_.count(id) > 0;
+  }
+  if (!trace::Active()) return physical;
+  return trace::DecisionBool(trace::Site::kKillMarkCheck, physical);
 }
 
 bool OtxnRuntime::ClearKillMark(
     const ActorId& id, std::chrono::steady_clock::time_point* killed_at) {
   MutexLock lock(&kill_mu_);
   auto it = kill_marks_.find(id);
-  if (it == kill_marks_.end()) return false;
-  *killed_at = it->second;
-  kill_marks_.erase(it);
+  const bool physical = it != kill_marks_.end();
+  const bool decided =
+      trace::Active()
+          ? trace::DecisionBool(trace::Site::kKillMarkClear, physical)
+          : physical;
+  if (!decided) return false;
+  // The timestamp feeds only the reactivation-latency counter, which is
+  // excluded from replay comparison; a forced-true clear with no physical
+  // mark reports "now".
+  *killed_at =
+      physical ? it->second : std::chrono::steady_clock::now();
+  if (physical) kill_marks_.erase(it);
   return true;
 }
 

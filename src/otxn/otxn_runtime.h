@@ -116,6 +116,14 @@ class OtxnActor : public ActorBase {
   /// skip otherwise.
   Task<bool> MaybeCheckpoint();
 
+  /// Replay divergence detection (DESIGN.md §4g): stable hash of state_,
+  /// taken at turn boundaries while a trace session is active.
+  uint64_t StateDigest() const override {
+    const std::string bytes = state_.Encode();
+    return trace::HashBytes(bytes.data(), bytes.size(),
+                            /*seed=*/bytes.size() + 1);
+  }
+
   const Value& state_for_test() const { return state_; }
 
  protected:

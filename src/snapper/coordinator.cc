@@ -128,8 +128,14 @@ Task<void> CoordinatorActor::ReceiveToken(Token token) {
   if (!controller.paused()) {
     ServeActRequests(token.epoch);
     const auto now = std::chrono::steady_clock::now();
-    if (!pending_pacts_.empty() &&
-        now - last_batch_time_ >= sctx().config.min_batch_interval) {
+    // The only wall-clock read that steers control flow in the commit path:
+    // recorded under an active trace session and forced on replay, so batch
+    // boundaries land exactly where the recorded run cut them.
+    const bool cut_batch = trace::DecisionBool(
+        trace::Site::kBatchCut,
+        !pending_pacts_.empty() &&
+            now - last_batch_time_ >= sctx().config.min_batch_interval);
+    if (cut_batch) {
       last_batch_time_ = now;
       const uint64_t bid = FormBatch(token);
       // Pass the token onward before logging/emitting (§4.2.1: the token is

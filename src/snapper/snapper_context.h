@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/trace_hooks.h"
 #include "common/value.h"
 
 #include "actor/actor.h"
@@ -40,12 +41,22 @@ class GlobalAbortController {
   explicit GlobalAbortController(SnapperContext* ctx) : ctx_(ctx) {}
 
   /// Current abort epoch. Transactions stamp it into their TxnContext;
-  /// invocations from a previous epoch are rejected everywhere.
-  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// invocations from a previous epoch are rejected everywhere. The read
+  /// races epoch bumps on the abort strand, so under an active trace session
+  /// the observed value is recorded and forced on replay.
+  uint64_t epoch() const {
+    const uint64_t physical = epoch_.load(std::memory_order_acquire);
+    if (!trace::Active()) return physical;
+    return trace::DecisionU64(trace::Site::kEpoch, physical);
+  }
 
   /// True while an abort round is running; coordinators stop forming
-  /// batches and issuing ACT contexts.
-  bool paused() const { return paused_.load(std::memory_order_acquire); }
+  /// batches and issuing ACT contexts. Recorded/forced like epoch().
+  bool paused() const {
+    const bool physical = paused_.load(std::memory_order_acquire);
+    if (!trace::Active()) return physical;
+    return trace::DecisionBool(trace::Site::kPaused, physical);
+  }
 
   /// A PACT of batch `bid` failed with `cause`. Resolves when a round
   /// covering `bid` has completed and emission resumed.
@@ -61,13 +72,29 @@ class GlobalAbortController {
 
  private:
   Future<Unit> StartOrJoinRound(const uint64_t* bid, const Status& cause);
+  /// Physical (untraced / record) start-or-join under mu_: returns the
+  /// packed kAbortRound decision {round << 2 | started_new << 1 |
+  /// decided_fast} describing what happened.
+  uint64_t StartOrJoinLocked(const uint64_t* bid,
+                             std::shared_ptr<Strand>* round_strand)
+      REQUIRES(mu_);
+  void StartRoundLocked(uint64_t round, std::shared_ptr<Strand>* round_strand)
+      REQUIRES(mu_);
   Task<void> RoundTask(Status cause);
   void FinishRound();
 
   SnapperContext* ctx_;
   Mutex mu_;
   bool running_ GUARDED_BY(mu_) = false;
-  std::vector<Promise<Unit>> round_waiters_ GUARDED_BY(mu_);
+  /// Round-watermark waiter registration: a joiner of round R resolves when
+  /// finished_rounds_ >= R, even if it registers after the round finished —
+  /// this closes the lost-waiter race that strictly-ordered replay would
+  /// otherwise expose (a round can start *and* finish between a recorded
+  /// join decision and the joiner's registration).
+  uint64_t started_rounds_ GUARDED_BY(mu_) = 0;
+  uint64_t finished_rounds_ GUARDED_BY(mu_) = 0;
+  std::vector<std::pair<uint64_t, Promise<Unit>>> round_waiters_
+      GUARDED_BY(mu_);
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> paused_{false};
   std::atomic<uint64_t> rounds_{0};
@@ -143,22 +170,40 @@ struct SnapperContext {
     return mark.generation;
   }
 
+  /// The mark is set by the harness kill thread and read by turns, so the
+  /// observation is recorded under an active trace session and forced on
+  /// replay.
   bool IsActorKilled(const ActorId& id) const {
-    MutexLock lock(&kill_mu_);
-    return kill_marks_.count(id) > 0;
+    bool physical;
+    {
+      MutexLock lock(&kill_mu_);
+      physical = kill_marks_.count(id) > 0;
+    }
+    if (!trace::Active()) return physical;
+    return trace::DecisionBool(trace::Site::kKillMarkCheck, physical);
   }
 
   /// Clears the mark iff it still carries `generation`; reports the kill
-  /// time (for the reactivation-latency counter) on success.
+  /// time (for the reactivation-latency counter) on success. The found-bit
+  /// is recorded/forced like IsActorKilled; the kill timestamp feeds only
+  /// timing counters excluded from replay comparison, so a forced-true
+  /// clear that finds no physical mark reports "now".
   bool ClearKillMark(const ActorId& id, uint64_t generation,
                      std::chrono::steady_clock::time_point* killed_at) {
     MutexLock lock(&kill_mu_);
     auto it = kill_marks_.find(id);
-    if (it == kill_marks_.end() || it->second.generation != generation) {
-      return false;
+    const bool physical =
+        it != kill_marks_.end() && it->second.generation == generation;
+    const bool decided =
+        trace::Active()
+            ? trace::DecisionBool(trace::Site::kKillMarkClear, physical)
+            : physical;
+    if (!decided) return false;
+    if (killed_at != nullptr) {
+      *killed_at = physical ? it->second.killed_at
+                            : std::chrono::steady_clock::now();
     }
-    if (killed_at != nullptr) *killed_at = it->second.killed_at;
-    kill_marks_.erase(it);
+    if (physical) kill_marks_.erase(it);
     return true;
   }
 

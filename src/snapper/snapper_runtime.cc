@@ -30,22 +30,33 @@ Future<Unit> GlobalAbortController::StartOrJoinRound(const uint64_t* bid,
   std::shared_ptr<Strand> round_strand;
   {
     MutexLock lock(&mu_);
-    if (!running_) {
-      if (bid != nullptr && (ctx_->sequencer.IsAborted(*bid) ||
-                             ctx_->sequencer.IsCommitted(*bid))) {
-        promise.Set(Unit{});  // already decided by a previous round
-        return future;
+    uint64_t packed;
+    if (!trace::Replaying()) {
+      // Whether this caller starts a round, joins the running one, or finds
+      // its batch already decided depends on how kills interleave with round
+      // completion — a recorded decision, forced on replay.
+      packed = StartOrJoinLocked(bid, &round_strand);
+      if (trace::Active()) {
+        packed = trace::DecisionU64(trace::Site::kAbortRound, packed);
       }
-      running_ = true;
-      paused_.store(true, std::memory_order_release);
-      // Bump the epoch before tearing anything down so every in-flight
-      // invocation of the old epoch is rejected from here on.
-      epoch_.fetch_add(1, std::memory_order_acq_rel);
-      rounds_.fetch_add(1);
-      if (!strand_) strand_ = ctx_->runtime->NewStrand();
-      round_strand = strand_;
+    } else {
+      packed = trace::DecisionU64(trace::Site::kAbortRound, 0);
+      if ((packed & 2) != 0) {
+        StartRoundLocked(packed >> 2, &round_strand);
+      }
     }
-    round_waiters_.push_back(std::move(promise));
+    if ((packed & 1) != 0) {
+      promise.Set(Unit{});  // already decided by a previous round
+      return future;
+    }
+    const uint64_t target = packed >> 2;
+    if (finished_rounds_ >= target) {
+      // The joined round already finished (possible on replay, where the
+      // registration may land after the serially-replayed round completes).
+      promise.Set(Unit{});
+      return future;
+    }
+    round_waiters_.emplace_back(target, std::move(promise));
   }
   if (round_strand) {
     Status cause_copy = cause;
@@ -54,6 +65,32 @@ Future<Unit> GlobalAbortController::StartOrJoinRound(const uint64_t* bid,
     });
   }
   return future;
+}
+
+uint64_t GlobalAbortController::StartOrJoinLocked(
+    const uint64_t* bid, std::shared_ptr<Strand>* round_strand) {
+  if (!running_) {
+    if (bid != nullptr && (ctx_->sequencer.IsAborted(*bid) ||
+                           ctx_->sequencer.IsCommitted(*bid))) {
+      return 1;  // decided_fast
+    }
+    StartRoundLocked(started_rounds_ + 1, round_strand);
+    return (started_rounds_ << 2) | 2;  // started_new
+  }
+  return started_rounds_ << 2;  // join the running round
+}
+
+void GlobalAbortController::StartRoundLocked(
+    uint64_t round, std::shared_ptr<Strand>* round_strand) {
+  running_ = true;
+  started_rounds_ = round;
+  paused_.store(true, std::memory_order_release);
+  // Bump the epoch before tearing anything down so every in-flight
+  // invocation of the old epoch is rejected from here on.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  rounds_.fetch_add(1);
+  if (!strand_) strand_ = ctx_->runtime->NewStrand();
+  *round_strand = strand_;
 }
 
 Task<void> GlobalAbortController::RoundTask(Status cause) {
@@ -79,14 +116,26 @@ Task<void> GlobalAbortController::RoundTask(Status cause) {
 }
 
 void GlobalAbortController::FinishRound() {
-  std::vector<Promise<Unit>> waiters;
+  std::vector<Promise<Unit>> resolved;
   {
     MutexLock lock(&mu_);
     running_ = false;
     paused_.store(false, std::memory_order_release);
-    waiters.swap(round_waiters_);
+    if (finished_rounds_ < started_rounds_) finished_rounds_++;
+    // Release every waiter whose round watermark has been reached; keep
+    // registrations for rounds still ahead (replay can force-start round
+    // N+1 while a straggling joiner of it registers late).
+    auto it = round_waiters_.begin();
+    while (it != round_waiters_.end()) {
+      if (it->first <= finished_rounds_) {
+        resolved.push_back(std::move(it->second));
+        it = round_waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
-  for (auto& p : waiters) p.TrySet(Unit{});
+  for (auto& p : resolved) p.TrySet(Unit{});
 }
 
 // ---------------------------------------------------------------------------
@@ -245,7 +294,12 @@ Future<TxnResult> SnapperRuntime::WithAdmission(
 }
 
 bool SnapperRuntime::WalDegraded() const {
-  return log_manager_->enabled() && log_manager_->health().degraded();
+  // The health flag flips from logger strands; the fail-fast observation is
+  // recorded under an active trace session and forced on replay.
+  const bool physical =
+      log_manager_->enabled() && log_manager_->health().degraded();
+  if (!trace::Active()) return physical;
+  return trace::DecisionBool(trace::Site::kWalDegraded, physical);
 }
 
 Future<TxnResult> SnapperRuntime::WithTxnDeadline(Future<TxnResult> f) {

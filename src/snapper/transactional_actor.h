@@ -123,6 +123,17 @@ class TransactionalActor : public ActorBase {
 
   // --- Introspection (tests, benches) --------------------------------------
 
+  /// Replay divergence detection (DESIGN.md §4g): a stable hash of the
+  /// current and committed state images, taken at turn boundaries on this
+  /// actor's strand while a trace session is active.
+  uint64_t StateDigest() const override {
+    const std::string cur = state_.Encode();
+    const std::string committed = committed_state_.Encode();
+    return trace::HashBytes(
+        committed.data(), committed.size(),
+        trace::HashBytes(cur.data(), cur.size(), /*seed=*/cur.size() + 1));
+  }
+
   const Value& state_for_test() const { return state_; }
   const Value& committed_state_for_test() const { return committed_state_; }
   const LocalSchedule& schedule_for_test() const { return schedule_; }

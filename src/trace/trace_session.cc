@@ -1,0 +1,497 @@
+#include "trace/trace_session.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace_format.h"
+
+namespace snapper::trace {
+
+namespace {
+/// Global index of the turn the calling worker is currently executing
+/// (record mode; replay uses the cursor). Turns never nest on one thread.
+thread_local uint64_t tls_turn_index = 0;
+}  // namespace
+
+TraceSession::TraceSession(std::string path, bool replay)
+    : path_(std::move(path)), replay_(replay) {}
+
+TraceSession::~TraceSession() {
+  Detach();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::unique_ptr<TraceSession> TraceSession::Record(std::string path) {
+  auto session =
+      std::unique_ptr<TraceSession>(new TraceSession(std::move(path), false));
+  TraceRecord meta;
+  meta.type = TraceRecordType::kMeta;
+  meta.version = kTraceFormatVersion;
+  MutexLock lock(&session->mu_);
+  session->AppendLocked(meta);
+  return session;
+}
+
+std::unique_ptr<TraceSession> TraceSession::Replay(std::string path,
+                                                   std::string* error) {
+  auto session =
+      std::unique_ptr<TraceSession>(new TraceSession(std::move(path), true));
+  if (!session->LoadForReplay(error)) return nullptr;
+  return session;
+}
+
+bool TraceSession::LoadForReplay(std::string* error) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open trace: " + path_;
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  TraceCursor cursor(data);
+  TraceRecord rec;
+  bool saw_meta = false;
+  for (;;) {
+    Status s = cursor.Next(&rec);
+    if (s.IsNotFound()) break;
+    if (!s.ok()) {
+      if (error) *error = "trace " + path_ + ": " + s.ToString();
+      return false;
+    }
+    if (!saw_meta) {
+      if (rec.type != TraceRecordType::kMeta ||
+          rec.version != kTraceFormatVersion) {
+        if (error) *error = "trace " + path_ + ": bad or missing meta record";
+        return false;
+      }
+      saw_meta = true;
+      continue;
+    }
+    switch (rec.type) {
+      case TraceRecordType::kTurn:
+        tag_index_[{rec.ctx, rec.seq}] = order_.size();
+        order_.push_back({rec.ctx, rec.seq, rec.strand_id});
+        break;
+      case TraceRecordType::kDigest:
+        digest_at_[rec.turn_index] = rec.digest;
+        break;
+      case TraceRecordType::kDecision:
+        decisions_[{rec.site, rec.ctx}].push_back(rec.value);
+        break;
+      case TraceRecordType::kTrySet:
+        trysets_[rec.future_id].push_back({rec.ctx, rec.won, false});
+        break;
+      case TraceRecordType::kCounters:
+        recorded_counters_ = rec.counters;
+        break;
+      case TraceRecordType::kStrandBind:
+        names_[rec.strand_id] = rec.name;
+        break;
+      case TraceRecordType::kThreadRoot:
+        names_[rec.ctx] = rec.name;
+        break;
+      case TraceRecordType::kMeta:
+      case TraceRecordType::kEnd:
+        break;
+    }
+    if (rec.type == TraceRecordType::kEnd) break;
+  }
+  if (!saw_meta) {
+    if (error) *error = "trace " + path_ + ": empty file";
+    return false;
+  }
+  return true;
+}
+
+void TraceSession::Attach() {
+  if (replay_ && !watchdog_.joinable()) {
+    watchdog_ = std::thread([this] { StallWatchdogLoop(); });
+  }
+  InstallHooks(this);
+  RegisterThread("harness");
+}
+
+void TraceSession::Detach() {
+  std::vector<Withheld> released;
+  {
+    MutexLock lock(&mu_);
+    if (detached_) return;
+    detached_ = true;
+    watchdog_stop_ = true;
+    if (replay_) {
+      released = FreeRunLocked();
+    } else {
+      TraceRecord end;
+      end.type = TraceRecordType::kEnd;
+      AppendLocked(end);
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    }
+  }
+  watchdog_cv_.NotifyAll();
+  if (GetHooks() == this) InstallHooks(nullptr);
+  UnregisterThread();
+  ReleaseAll(std::move(released));
+}
+
+void TraceSession::CheckOrRecordCounters(
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  MutexLock lock(&mu_);
+  if (!replay_) {
+    TraceRecord rec;
+    rec.type = TraceRecordType::kCounters;
+    rec.counters = counters;
+    AppendLocked(rec);
+    return;
+  }
+  if (recorded_counters_.size() != counters.size()) {
+    NoteDivergenceLocked("counter set size mismatch: recorded " +
+                         std::to_string(recorded_counters_.size()) + " got " +
+                         std::to_string(counters.size()));
+    return;
+  }
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (counters[i] != recorded_counters_[i]) {
+      NoteDivergenceLocked(
+          "counter " + counters[i].first + ": recorded " +
+          std::to_string(recorded_counters_[i].second) + " got " +
+          std::to_string(counters[i].second));
+      return;
+    }
+  }
+}
+
+std::string TraceSession::divergence() const {
+  MutexLock lock(&mu_);
+  return divergence_;
+}
+
+uint64_t TraceSession::turn_count() const {
+  MutexLock lock(&mu_);
+  return turn_count_;
+}
+
+bool TraceSession::OnPost(Strand* strand, const TurnTag& tag,
+                          std::function<void()>* fn) {
+  if (!replay_) return false;
+  std::vector<Withheld> released;
+  bool took_ownership = false;
+  {
+    MutexLock lock(&mu_);
+    if (free_run_ || detached_) return false;
+    const auto key = std::make_pair(tag.ctx, tag.seq);
+    if (tag_index_.find(key) == tag_index_.end()) {
+      if (IsUnattributedCtx(tag.ctx)) {
+        // A post from a thread outside the traced roots. Its tag is
+        // per-run-unique, so it can never appear in the recording — by
+        // symmetry the record side never logged such turns either. Let it
+        // run by physics, outside the gate.
+        return false;
+      }
+      if (IsTimerCtx(tag.ctx)) {
+        // A wall-clock timer fired in replay that the recorded run never
+        // saw turns from (cancelled, or past the capture window). Its turn
+        // is not part of the recorded schedule: drop it. Any TrySet the
+        // recorded run derives from such a timer is likewise vetoed by the
+        // gate.
+        return true;
+      }
+      NoteDivergenceLocked("unexpected turn tag (ctx=" +
+                           std::to_string(tag.ctx) +
+                           ", seq=" + std::to_string(tag.seq) +
+                           ") at cursor " + std::to_string(cursor_));
+      // Keep liveness: fall back to free running (the caller enqueues this
+      // turn normally) rather than dropping unrecorded work on the floor.
+      released = FreeRunLocked();
+    } else {
+      withheld_[key] = Withheld{strand->shared_from_this(), std::move(*fn),
+                                tag};
+      took_ownership = true;
+      released = CollectReleasableLocked();
+    }
+  }
+  ReleaseAll(std::move(released));
+  return took_ownership;
+}
+
+void TraceSession::BeginTurn(Strand* strand, const TurnTag& tag) {
+  // Unattributed turns are invisible to the trace on both sides: recording
+  // one would make the replayer wait forever on a tag that can never be
+  // posted again, and checking one against the recorded order would flag a
+  // harmless stray post as divergence.
+  if (IsUnattributedCtx(tag.ctx)) return;
+  MutexLock lock(&mu_);
+  if (!replay_) {
+    TraceRecord rec;
+    rec.type = TraceRecordType::kTurn;
+    rec.ctx = tag.ctx;
+    rec.seq = tag.seq;
+    rec.strand_id = strand->trace_id();
+    AppendLocked(rec);
+    tls_turn_index = turn_count_++;
+    return;
+  }
+  if (free_run_ || detached_) return;
+  if (cursor_ < order_.size() &&
+      !(order_[cursor_].ctx == tag.ctx && order_[cursor_].seq == tag.seq)) {
+    NoteDivergenceLocked("turn order mismatch at index " +
+                         std::to_string(cursor_));
+  }
+}
+
+void TraceSession::EndTurn(Strand* strand, const TurnTag& tag) {
+  // Mirror of BeginTurn: an unattributed turn holds no cursor slot, records
+  // no digest, and must not advance the replay cursor.
+  if (IsUnattributedCtx(tag.ctx)) return;
+  std::vector<Withheld> released;
+  {
+    MutexLock lock(&mu_);
+    if (!replay_) {
+      const uint64_t digest = strand->RunDigest();
+      if (digest != 0) {
+        TraceRecord rec;
+        rec.type = TraceRecordType::kDigest;
+        rec.turn_index = tls_turn_index;
+        rec.strand_id = strand->trace_id();
+        rec.digest = digest;
+        AppendLocked(rec);
+      }
+      return;
+    }
+    if (free_run_ || detached_) return;
+    const auto it = digest_at_.find(cursor_);
+    if (it != digest_at_.end() && divergence_.empty()) {
+      const uint64_t digest = strand->RunDigest();
+      if (digest != 0 && digest != it->second) {
+        std::ostringstream os;
+        os << "state digest mismatch at turn " << cursor_ << " on actor "
+           << StrandName(strand->trace_id()) << ": recorded " << std::hex
+           << it->second << " replayed " << digest;
+        NoteDivergenceLocked(os.str());
+      }
+    }
+    ++cursor_;
+    ++turn_count_;
+    turn_running_ = false;
+    released = CollectReleasableLocked();
+  }
+  watchdog_cv_.NotifyAll();
+  ReleaseAll(std::move(released));
+}
+
+void TraceSession::OnThreadRoot(uint64_t ctx, const std::string& name) {
+  MutexLock lock(&mu_);
+  if (replay_) return;  // roots are name-derived; ids match by construction
+  TraceRecord rec;
+  rec.type = TraceRecordType::kThreadRoot;
+  rec.ctx = ctx;
+  rec.name = name;
+  AppendLocked(rec);
+}
+
+void TraceSession::OnStrandBind(uint64_t strand_id, const std::string& name) {
+  MutexLock lock(&mu_);
+  if (replay_) {
+    auto it = names_.find(strand_id);
+    if (it != names_.end() && it->second != name) {
+      NoteDivergenceLocked("strand " + std::to_string(strand_id) +
+                           " bound to " + name + " but recorded as " +
+                           it->second);
+    }
+    names_[strand_id] = name;
+    return;
+  }
+  TraceRecord rec;
+  rec.type = TraceRecordType::kStrandBind;
+  rec.strand_id = strand_id;
+  rec.name = name;
+  AppendLocked(rec);
+}
+
+uint64_t TraceSession::OnDecision(Site site, uint64_t ctx, uint64_t physical) {
+  // Decisions drawn under a per-run-unique context could never be matched
+  // back at replay; keep them out of the trace and take the physical value.
+  if (IsUnattributedCtx(ctx)) return physical;
+  MutexLock lock(&mu_);
+  if (!replay_) {
+    TraceRecord rec;
+    rec.type = TraceRecordType::kDecision;
+    rec.site = static_cast<uint32_t>(site);
+    rec.ctx = ctx;
+    rec.value = physical;
+    AppendLocked(rec);
+    return physical;
+  }
+  if (free_run_ || detached_) return physical;
+  auto it = decisions_.find({static_cast<uint32_t>(site), ctx});
+  if (it == decisions_.end() || it->second.empty()) {
+    NoteDivergenceLocked("decision underrun at site " +
+                         std::to_string(static_cast<uint32_t>(site)) +
+                         " ctx " + std::to_string(ctx) + " (cursor " +
+                         std::to_string(cursor_) + ")");
+    return physical;
+  }
+  const uint64_t value = it->second.front();
+  it->second.pop_front();
+  return value;
+}
+
+bool TraceSession::OnTrySet(uint64_t future_id, uint64_t ctx) {
+  MutexLock lock(&mu_);
+  if (free_run_ || detached_) return true;
+  auto it = trysets_.find(future_id);
+  if (it == trysets_.end()) {
+    // Never resolved during the capture window (created after detach in the
+    // recorded run, or a record-side pending-forever drop): allow — a
+    // resolution here only matters if something recorded observes it, and
+    // observations are themselves gated.
+    return true;
+  }
+  auto& attempts = it->second;
+  // Rule 1: exact context match — this very attempt was recorded.
+  for (auto& a : attempts) {
+    if (!a.consumed && a.ctx == ctx) {
+      a.consumed = true;
+      return a.won;
+    }
+  }
+  // Rule 2: a timer-context attempt the recording never saw (wall-clock
+  // raced differently here), or an unattributed attempt (unrecorded by
+  // construction), must not steal a resolution the recording assigns to
+  // some attributed context.
+  if (IsTimerCtx(ctx) || IsUnattributedCtx(ctx)) return false;
+  // Rule 3: exactly one unconsumed non-timer attempt — a "same role,
+  // different worker" variation (e.g. WhenAll's last resolver).
+  TrySetRec* sole = nullptr;
+  size_t non_timer = 0, unconsumed = 0;
+  for (auto& a : attempts) {
+    if (a.consumed) continue;
+    ++unconsumed;
+    if (!IsTimerCtx(a.ctx)) {
+      ++non_timer;
+      sole = &a;
+    }
+  }
+  if (non_timer == 1) {
+    sole->consumed = true;
+    return sole->won;
+  }
+  // Rule 4: only timer attempts remain — the recorded run resolved this by
+  // deadline; the replay timer (never cancelled in replay) will claim it.
+  if (unconsumed > 0 && non_timer == 0) return false;
+  // Rule 5: nothing left, or ambiguous — divergence; let physics decide.
+  if (unconsumed == 0) return false;
+  NoteDivergenceLocked("ambiguous TrySet on future " +
+                       std::to_string(future_id) + " from ctx " +
+                       std::to_string(ctx));
+  return true;
+}
+
+void TraceSession::OnTrySetOutcome(uint64_t future_id, uint64_t ctx,
+                                   bool won) {
+  // An unattributed attempt left in the trace would sit unconsumed at
+  // replay and break the sole-candidate match (rule 3) for the attempts
+  // that do matter.
+  if (IsUnattributedCtx(ctx)) return;
+  MutexLock lock(&mu_);
+  TraceRecord rec;
+  rec.type = TraceRecordType::kTrySet;
+  rec.future_id = future_id;
+  rec.ctx = ctx;
+  rec.won = won;
+  AppendLocked(rec);
+}
+
+void TraceSession::AppendLocked(const TraceRecord& record) {
+  FrameTraceRecord(record, &buffer_);
+}
+
+void TraceSession::NoteDivergenceLocked(const std::string& what) {
+  if (!divergence_.empty()) return;  // first divergence wins
+  divergence_ = what;
+}
+
+std::vector<TraceSession::Withheld> TraceSession::CollectReleasableLocked() {
+  std::vector<Withheld> out;
+  if (free_run_) return out;
+  if (cursor_ >= order_.size()) return FreeRunLocked();  // trace exhausted
+  if (turn_running_) return out;
+  const auto key = std::make_pair(order_[cursor_].ctx, order_[cursor_].seq);
+  auto it = withheld_.find(key);
+  if (it == withheld_.end()) return out;
+  turn_running_ = true;
+  out.push_back(std::move(it->second));
+  withheld_.erase(it);
+  return out;
+}
+
+std::vector<TraceSession::Withheld> TraceSession::FreeRunLocked() {
+  free_run_ = true;
+  std::vector<Withheld> out;
+  out.reserve(withheld_.size());
+  for (auto& [key, w] : withheld_) out.push_back(std::move(w));
+  withheld_.clear();
+  return out;
+}
+
+void TraceSession::ReleaseAll(std::vector<Withheld> turns) {
+  for (auto& w : turns) {
+    w.strand->EnqueueForReplay(std::move(w.fn), w.tag);
+  }
+}
+
+std::string TraceSession::StrandName(uint64_t strand_id) const {
+  auto it = names_.find(strand_id);
+  if (it != names_.end()) return it->second;
+  return "strand#" + std::to_string(strand_id);
+}
+
+void TraceSession::StallWatchdogLoop() {
+  const auto poll = std::chrono::milliseconds(100);
+  uint64_t last_progress = 0;
+  auto last_change = std::chrono::steady_clock::now();
+  std::vector<Withheld> released;
+  {
+    MutexLock lock(&mu_);
+    while (!watchdog_stop_) {
+      watchdog_cv_.WaitFor(mu_, poll, [this]() REQUIRES(mu_) {
+        return watchdog_stop_;
+      });
+      if (watchdog_stop_) break;
+      if (free_run_) continue;
+      const uint64_t progress = turn_count_;
+      const auto now = std::chrono::steady_clock::now();
+      if (progress != last_progress) {
+        last_progress = progress;
+        last_change = now;
+        continue;
+      }
+      const double stalled =
+          std::chrono::duration<double>(now - last_change).count();
+      if (stalled < stall_timeout_seconds_) continue;
+      if (cursor_ < order_.size()) {
+        std::ostringstream os;
+        os << "replay stalled at turn " << cursor_ << "/" << order_.size()
+           << " waiting for tag (ctx=" << order_[cursor_].ctx
+           << ", seq=" << order_[cursor_].seq << ") on actor "
+           << StrandName(order_[cursor_].strand_id);
+        NoteDivergenceLocked(os.str());
+      } else {
+        NoteDivergenceLocked("replay stalled past end of trace");
+      }
+      released = FreeRunLocked();
+      break;
+    }
+  }
+  ReleaseAll(std::move(released));
+}
+
+std::string TracePathFor(const std::string& dir, const std::string& label,
+                         uint64_t seed) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  return path + label + "-seed" + std::to_string(seed) + ".trace";
+}
+
+}  // namespace snapper::trace

@@ -1,0 +1,170 @@
+// TraceSession: the active record-or-replay session behind the
+// trace::Hooks seam (common/trace_hooks.h). See DESIGN.md §4g.
+//
+// Record mode appends, in global turn-begin order: every dispatched turn's
+// tag, every nondeterministic decision (keyed by site + drawing context),
+// every contested future resolution, per-actor state digests at turn
+// boundaries, and a final counter snapshot — then frames it all per
+// trace_format.h on Finish().
+//
+// Replay mode loads a trace up front and enforces it: posted turns are
+// withheld (Strand::Post hands them over via OnPost) until the global
+// cursor reaches their recorded slot, so the whole run executes one turn at
+// a time in recorded order; decisions and TrySet races are forced to their
+// recorded outcomes; digests are checked at each turn boundary. The first
+// mismatch — digest, counter, unexpected turn, decision underrun, or a
+// stall (the cursor's next recorded turn is never posted) — is captured as
+// the divergence report with the offending actor and global turn index.
+// After a divergence or the end of the trace the session "free-runs":
+// withheld turns are released and all gates pass through, so a divergent
+// replay degrades to a normal run instead of hanging the harness.
+//
+// Lifetime: Attach() installs the hooks; Detach() finishes the capture (or
+// releases replay gating) and uninstalls them. Destroy the session only
+// after the traced runtime has shut down — in-flight turns may still be
+// inside hook calls until their workers park.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "async/executor.h"
+#include "common/mutex.h"
+#include "common/trace_hooks.h"
+
+namespace snapper::trace {
+
+class TraceSession : public Hooks {
+ public:
+  /// Opens a capture session writing to `path` on Detach().
+  static std::unique_ptr<TraceSession> Record(std::string path);
+
+  /// Loads `path` for replay. Returns nullptr (and sets `*error`) if the
+  /// file is missing, torn, or not a trace.
+  static std::unique_ptr<TraceSession> Replay(std::string path,
+                                              std::string* error);
+
+  ~TraceSession() override;
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Installs this session's hooks and registers the calling thread as the
+  /// "harness" context root.
+  void Attach();
+
+  /// Record: frames the end marker and writes the trace file. Replay:
+  /// releases any withheld turns (free-run). Both: uninstalls the hooks.
+  /// Idempotent.
+  void Detach();
+
+  /// Record: appends the counter snapshot to the trace. Replay: compares
+  /// against the recorded snapshot; the first mismatch becomes the
+  /// divergence report. Call right before Detach().
+  void CheckOrRecordCounters(
+      const std::vector<std::pair<std::string, uint64_t>>& counters);
+
+  /// Empty iff the replay matched the recording so far. (Always empty while
+  /// recording.)
+  std::string divergence() const;
+
+  /// Turns recorded / replayed so far.
+  uint64_t turn_count() const;
+
+  const std::string& path() const { return path_; }
+  bool is_replay() const { return replay_; }
+
+  /// Seconds without turn progress before the replay stall watchdog reports
+  /// divergence and free-runs. Tests shrink this.
+  void set_stall_timeout_seconds(double s) { stall_timeout_seconds_ = s; }
+
+  // --- Hooks ---------------------------------------------------------------
+  bool replaying() const override { return replay_; }
+  bool OnPost(Strand* strand, const TurnTag& tag,
+              std::function<void()>* fn) override;
+  void BeginTurn(Strand* strand, const TurnTag& tag) override;
+  void EndTurn(Strand* strand, const TurnTag& tag) override;
+  void OnThreadRoot(uint64_t ctx, const std::string& name) override;
+  void OnStrandBind(uint64_t strand_id, const std::string& name) override;
+  uint64_t OnDecision(Site site, uint64_t ctx, uint64_t physical) override;
+  bool OnTrySet(uint64_t future_id, uint64_t ctx) override;
+  void OnTrySetOutcome(uint64_t future_id, uint64_t ctx, bool won) override;
+
+ private:
+  explicit TraceSession(std::string path, bool replay);
+
+  struct TurnRec {
+    uint64_t ctx = 0;
+    uint64_t seq = 0;
+    uint64_t strand_id = 0;
+  };
+  struct TrySetRec {
+    uint64_t ctx = 0;
+    bool won = false;
+    bool consumed = false;
+  };
+  struct Withheld {
+    std::shared_ptr<Strand> strand;
+    std::function<void()> fn;
+    TurnTag tag;
+  };
+
+  bool LoadForReplay(std::string* error);
+  void AppendLocked(const struct TraceRecord& record) REQUIRES(mu_);
+  void NoteDivergenceLocked(const std::string& what) REQUIRES(mu_);
+  /// Moves out the withheld turn matching the cursor, if any (and marks it
+  /// running); also flips to free-run at end-of-trace. Caller releases the
+  /// returned turns *after* unlocking — Strand::EnqueueForReplay takes the
+  /// strand lock and must never nest inside mu_.
+  std::vector<Withheld> CollectReleasableLocked() REQUIRES(mu_);
+  std::vector<Withheld> FreeRunLocked() REQUIRES(mu_);
+  void ReleaseAll(std::vector<Withheld> turns);
+  std::string StrandName(uint64_t strand_id) const REQUIRES(mu_);
+  void StallWatchdogLoop();
+
+  const std::string path_;
+  const bool replay_;
+  double stall_timeout_seconds_ = 10.0;
+
+  mutable Mutex mu_;
+  std::string buffer_ GUARDED_BY(mu_);  ///< record: framed records
+  bool detached_ GUARDED_BY(mu_) = false;
+  std::string divergence_ GUARDED_BY(mu_);
+  uint64_t turn_count_ GUARDED_BY(mu_) = 0;
+
+  // Replay state, loaded up front.
+  std::vector<TurnRec> order_;
+  std::map<std::pair<uint64_t, uint64_t>, size_t> tag_index_;  ///< tag -> slot
+  std::unordered_map<uint64_t, uint64_t> digest_at_;  ///< turn index -> digest
+  std::map<std::pair<uint64_t, uint64_t>, std::deque<uint64_t>> decisions_
+      GUARDED_BY(mu_);  ///< (site, ctx) -> FIFO of recorded values
+  std::unordered_map<uint64_t, std::deque<TrySetRec>> trysets_
+      GUARDED_BY(mu_);  ///< future id -> recorded resolution attempts
+  std::vector<std::pair<std::string, uint64_t>> recorded_counters_;
+  std::unordered_map<uint64_t, std::string> names_ GUARDED_BY(mu_);
+
+  size_t cursor_ GUARDED_BY(mu_) = 0;
+  bool turn_running_ GUARDED_BY(mu_) = false;
+  bool free_run_ GUARDED_BY(mu_) = false;
+  std::map<std::pair<uint64_t, uint64_t>, Withheld> withheld_ GUARDED_BY(mu_);
+
+  // Stall watchdog (replay only).
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ GUARDED_BY(mu_) = false;
+  std::thread watchdog_;
+};
+
+/// Builds the canonical trace file name for one chaos round:
+/// `<dir>/<label>-seed<seed>.trace`.
+std::string TracePathFor(const std::string& dir, const std::string& label,
+                         uint64_t seed);
+
+}  // namespace snapper::trace

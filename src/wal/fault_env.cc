@@ -1,5 +1,10 @@
 #include "wal/fault_env.h"
 
+#include <utility>
+#include <vector>
+
+#include "common/trace_hooks.h"
+
 namespace snapper {
 
 namespace {
@@ -57,22 +62,51 @@ class FaultWritableFile : public WritableFile {
 Status FaultInjectionEnv::CheckFault(Op op) {
   MutexLock lock(&mu_);
   const size_t i = static_cast<size_t>(op);
+  // Fault verdicts depend on cross-thread op interleaving (shared op counts,
+  // shared RNG), so under an active trace session each verdict is recorded
+  // and forced on replay: 0 = ok, 1 = device failed, 2 = scripted, 3 =
+  // probabilistic.
+  if (trace::Replaying()) {
+    const uint64_t v = trace::DecisionU64(trace::Site::kStorageFault, 0);
+    op_counts_[i]++;
+    switch (v) {
+      case 1:
+        faults_++;
+        return Status::IOError("injected: device failed");
+      case 2:
+        fail_at_[i] = 0;
+        if (fail_sticky_[i]) device_failed_ = true;
+        faults_++;
+        return Status::IOError("injected fault");
+      case 3:
+        faults_++;
+        return Status::IOError("injected probabilistic fault");
+      default:
+        return Status::OK();
+    }
+  }
+  uint64_t verdict = 0;
+  Status result = Status::OK();
   op_counts_[i]++;
   if (device_failed_) {
     faults_++;
-    return Status::IOError("injected: device failed");
-  }
-  if (fail_at_[i] != 0 && op_counts_[i] >= fail_at_[i]) {
+    verdict = 1;
+    result = Status::IOError("injected: device failed");
+  } else if (fail_at_[i] != 0 && op_counts_[i] >= fail_at_[i]) {
     fail_at_[i] = 0;
     if (fail_sticky_[i]) device_failed_ = true;
     faults_++;
-    return Status::IOError("injected fault");
-  }
-  if (fault_p_ > 0 && op != Op::kNewFile && rng_.Bernoulli(fault_p_)) {
+    verdict = 2;
+    result = Status::IOError("injected fault");
+  } else if (fault_p_ > 0 && op != Op::kNewFile && rng_.Bernoulli(fault_p_)) {
     faults_++;
-    return Status::IOError("injected probabilistic fault");
+    verdict = 3;
+    result = Status::IOError("injected probabilistic fault");
   }
-  return Status::OK();
+  if (trace::Active()) {
+    trace::DecisionU64(trace::Site::kStorageFault, verdict);
+  }
+  return result;
 }
 
 Status FaultInjectionEnv::NewWritableFile(const std::string& name,
@@ -83,14 +117,21 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& name,
   rec->name = name;
   s = base_->NewWritableFile(name, &rec->base);
   if (!s.ok()) return s;
-  MutexLock lock(&mu_);
-  auto it = files_.find(name);
-  if (it != files_.end()) {
-    // Recreating truncates: detach the previous incarnation's handle.
-    MutexLock flock(&it->second->mu);
-    it->second->lost = true;
+  // Never acquire a FileRec's mu while holding mu_: the write path locks
+  // rec->mu and then mu_ (via CheckFault), so nesting the other way is an
+  // ABBA deadlock. Displace under mu_, mark lost after releasing it.
+  std::shared_ptr<FileRec> displaced;
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(name);
+    if (it != files_.end()) displaced = std::move(it->second);
+    files_[name] = rec;
   }
-  files_[name] = rec;
+  if (displaced != nullptr) {
+    // Recreating truncates: detach the previous incarnation's handle.
+    MutexLock flock(&displaced->mu);
+    displaced->lost = true;
+  }
   *file = std::make_unique<FaultWritableFile>(std::move(rec), this);
   return Status::OK();
 }
@@ -100,14 +141,21 @@ Status FaultInjectionEnv::ReadFile(const std::string& name, std::string* out) {
 }
 
 Status FaultInjectionEnv::DeleteFile(const std::string& name) {
+  // Same lock-order rule as NewWritableFile — and the erase may drop the
+  // map's last reference, so the rec must outlive the flock scope or its
+  // destructor would tear the mutex out from under the unlock.
+  std::shared_ptr<FileRec> doomed;
   {
     MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it != files_.end()) {
-      MutexLock flock(&it->second->mu);
-      it->second->lost = true;
+      doomed = std::move(it->second);
       files_.erase(it);
     }
+  }
+  if (doomed != nullptr) {
+    MutexLock flock(&doomed->mu);
+    doomed->lost = true;
   }
   return base_->DeleteFile(name);
 }
@@ -169,8 +217,14 @@ uint64_t FaultInjectionEnv::faults_injected() const {
 }
 
 Status FaultInjectionEnv::Crash(size_t tear_bytes) {
-  MutexLock lock(&mu_);
-  for (auto& [name, rec] : files_) {
+  // Snapshot under mu_, then tear per-file without it (lock-order rule
+  // again; the base_ writes below also have no business under mu_).
+  std::vector<std::pair<std::string, std::shared_ptr<FileRec>>> snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot.assign(files_.begin(), files_.end());
+  }
+  for (auto& [name, rec] : snapshot) {
     MutexLock flock(&rec->mu);
     rec->unsynced.clear();
     rec->base.reset();

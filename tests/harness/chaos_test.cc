@@ -100,6 +100,21 @@ std::string Describe(const ActorChaosReport& r) {
   return os.str();
 }
 
+/// Copy-pasteable repro lines for a failed sweep seed: the env-seed replay
+/// command always, plus the deterministic trace replay command when the
+/// sweep ran with SNAPPER_TRACE_DIR set and captured a trace.
+std::string SweepRepro(const ActorChaosReport& report, uint64_t seed,
+                       const std::string& gtest_filter) {
+  std::ostringstream os;
+  os << ReplayCommand(seed, "tests/chaos_test", gtest_filter);
+  if (!report.trace_path.empty()) {
+    os << "\n"
+       << TraceReplayCommand(report.trace_path, "tests/chaos_test",
+                             gtest_filter);
+  }
+  return os.str();
+}
+
 // Seeded sweep (ISSUE acceptance: >= 24 seeds, Snapper): random actor kills
 // plus probabilistic message delay/drop/duplication during a mixed PACT/ACT
 // round. Every seed must terminate, conserve money, and keep acked-committed
@@ -112,8 +127,8 @@ TEST(ActorChaosTest, SnapperSeededSweep) {
     ActorChaosReport report = RunSmallBankActorChaos(options);
     EXPECT_TRUE(report.ok())
         << "seed=" << options.seed << " " << Describe(report) << "\n"
-        << ReplayCommand(options.seed, "tests/chaos_test",
-                         "ActorChaosTest.EnvSeedReplaySingleRound");
+        << SweepRepro(report, options.seed,
+                      "ActorChaosTest.EnvSeedReplaySingleRound");
     EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
     EXPECT_GE(report.actor_kills, 1u) << "seed=" << options.seed;
     // Zombie pinning stays bounded across the round: each counted kill
@@ -142,8 +157,8 @@ TEST(ActorChaosTest, OtxnSeededSweep) {
     ActorChaosReport report = RunSmallBankActorChaos(options);
     EXPECT_TRUE(report.ok())
         << "seed=" << options.seed << " " << Describe(report) << "\n"
-        << ReplayCommand(options.seed, "tests/chaos_test",
-                         "ActorChaosTest.EnvSeedReplaySingleRoundOtxn");
+        << SweepRepro(report, options.seed,
+                      "ActorChaosTest.EnvSeedReplaySingleRoundOtxn");
     EXPECT_EQ(report.unresolved, 0) << "seed=" << options.seed;
     EXPECT_EQ(report.in_doubt, 0) << "seed=" << options.seed;
     EXPECT_GE(report.actor_kills, 1u) << "seed=" << options.seed;

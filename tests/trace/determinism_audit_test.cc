@@ -1,0 +1,103 @@
+// Determinism audit (ISSUE satellite): the two fault injectors are the only
+// seeded nondeterminism sources the trace recorder logs wholesale, so their
+// contract — identical seed, identical call sequence, identical decisions —
+// must hold exactly. A drift here (e.g. an unseeded RNG draw sneaking into
+// the decision path) would silently break every recorded trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "actor/message_faults.h"
+#include "wal/env.h"
+#include "wal/fault_env.h"
+
+namespace snapper {
+namespace {
+
+std::string EncodeDecision(const MessageFaultInjector::Decision& d) {
+  std::ostringstream os;
+  os << (d.drop ? "D" : "-") << (d.duplicate ? "U" : "-") << d.delay_ms;
+  return os.str();
+}
+
+/// One full run against a freshly armed injector: mixed guard classes in a
+/// fixed pattern, scripted drop composed with probabilistic faults.
+std::vector<std::string> MessageFaultRun(uint64_t seed) {
+  MessageFaultInjector faults;
+  faults.FailNth(MessageFaultInjector::Action::kDrop, 7, /*sticky=*/false);
+  MessageFaultInjector::Options options;
+  options.drop_probability = 0.2;
+  options.duplicate_probability = 0.2;
+  options.delay_probability = 0.3;
+  options.max_delay_ms = 5;
+  faults.InjectProbabilistically(options, seed);
+
+  std::vector<std::string> decisions;
+  for (int i = 0; i < 400; ++i) {
+    const MsgGuard guard = (i % 3 == 0) ? MsgGuard::kReliable
+                                        : MsgGuard::kDroppable;
+    decisions.push_back(EncodeDecision(faults.Decide(guard)));
+  }
+  return decisions;
+}
+
+TEST(DeterminismAuditTest, MessageFaultInjectorIsSeedDeterministic) {
+  const std::vector<std::string> first = MessageFaultRun(1234);
+  const std::vector<std::string> second = MessageFaultRun(1234);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "decision " << i << " drifted";
+  }
+  // Sanity: the sequence actually contains faults (a silently disarmed
+  // injector would pass the comparison vacuously).
+  bool any_fault = false;
+  for (const std::string& d : first) {
+    if (d != "--0") any_fault = true;
+  }
+  EXPECT_TRUE(any_fault);
+}
+
+TEST(DeterminismAuditTest, DifferentSeedsDiverge) {
+  // Not a hard requirement of the replay design (the trace pins decisions
+  // regardless), but a same-output-for-all-seeds injector would mean the
+  // seed is ignored — the audit should notice.
+  EXPECT_NE(MessageFaultRun(1234), MessageFaultRun(4321));
+}
+
+/// One full run against a freshly armed FaultInjectionEnv: a scripted
+/// sticky sync failure composed with probabilistic faults, over a fixed
+/// op pattern.
+std::vector<std::string> StorageFaultRun(uint64_t seed) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  env.FailNth(FaultInjectionEnv::Op::kSync, 5, /*sticky=*/false);
+  env.FailProbabilistically(0.15, seed);
+
+  std::vector<std::string> statuses;
+  for (int i = 0; i < 300; ++i) {
+    const FaultInjectionEnv::Op op = (i % 5 == 0)
+                                         ? FaultInjectionEnv::Op::kSync
+                                         : FaultInjectionEnv::Op::kAppend;
+    statuses.push_back(env.CheckFault(op).ToString());
+  }
+  return statuses;
+}
+
+TEST(DeterminismAuditTest, FaultInjectionEnvIsSeedDeterministic) {
+  const std::vector<std::string> first = StorageFaultRun(9876);
+  const std::vector<std::string> second = StorageFaultRun(9876);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "verdict " << i << " drifted";
+  }
+  bool any_fault = false;
+  for (const std::string& s : first) {
+    if (s != Status::OK().ToString()) any_fault = true;
+  }
+  EXPECT_TRUE(any_fault);
+}
+
+}  // namespace
+}  // namespace snapper
