@@ -11,6 +11,11 @@
 # translation unit in compile_commands.json instead of a sanitizer pass.
 # Requires clang-tidy on PATH — available in CI's clang leg; locally the
 # command fails fast with a clear message if the tool is missing.
+#
+# SNAPPER_SANITIZE=analyze runs the whole-program lock-order/determinism
+# analyzer (scripts/snapper_analyze.py: fixture self-test, then the src/
+# pass) and the `analyze`-labelled ctest subset in a Debug tree, where the
+# runtime lock-order tracker (SNAPPER_LOCK_TRACKER) is armed by default.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +40,17 @@ run_tidy() {
   echo "=== tidy: OK ==="
 }
 
+run_analyze() {
+  python3 scripts/snapper_analyze.py --self-test tests/analyze/fixtures
+  python3 scripts/snapper_analyze.py src
+  # Runtime leg: cycle/rank death tests and the FaultInjectionEnv lock-order
+  # regression only bite with the tracker armed, i.e. in a Debug tree.
+  cmake -B build-analyze -S . -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-analyze -j "$(nproc)"
+  ctest --test-dir build-analyze -L analyze --output-on-failure
+  echo "=== analyze: OK ==="
+}
+
 # Crash-simulation tests abandon in-flight coroutine frames by design; see
 # scripts/lsan.supp for the (tightly scoped) suppression list.
 export LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp:${LSAN_OPTIONS:-}"
@@ -47,6 +63,10 @@ export TSAN_OPTIONS="history_size=7:suppressions=$(pwd)/scripts/tsan.supp:${TSAN
 for SANITIZER in ${SANITIZERS}; do
   if [[ "${SANITIZER}" == "tidy" ]]; then
     run_tidy
+    continue
+  fi
+  if [[ "${SANITIZER}" == "analyze" ]]; then
+    run_analyze
     continue
   fi
   BUILD_DIR="build-${SANITIZER}"

@@ -29,6 +29,7 @@ ActorRuntime::ActorRuntime(Options options)
   for (size_t i = 0; i < kShards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  RegisterLockName(&retired_mu_, "ActorRuntime::retired_mu_");
 }
 
 ActorRuntime::~ActorRuntime() { Shutdown(); }
@@ -154,8 +155,11 @@ std::shared_ptr<ActorBase> ActorRuntime::ConstructAndPublish(const ActorId& id,
 std::shared_ptr<ActorBase> ActorRuntime::ReplayActivation(const ActorId& id,
                                                           Shard& shard,
                                                           uint64_t want) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // SNAPPER-ANALYZE-ALLOW(nondet-clock): liveness watchdog only — the clock
+  // bounds how long replay waits for the recorded activation before declaring
+  // divergence and free-running; it never feeds replayed state or decisions.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
   for (;;) {
     bool try_create = false;
     bool in_past = false;
@@ -181,6 +185,7 @@ std::shared_ptr<ActorBase> ActorRuntime::ReplayActivation(const ActorId& id,
     if (try_create) {
       auto actor = ConstructAndPublish(id, shard, want);
       if (actor != nullptr && actor->activation_gen_ == want) return actor;
+      // SNAPPER-ANALYZE-ALLOW(nondet-clock): divergence-watchdog check only.
       if (std::chrono::steady_clock::now() >= deadline) break;
       continue;  // raced; re-resolve
     }
@@ -196,6 +201,7 @@ std::shared_ptr<ActorBase> ActorRuntime::ReplayActivation(const ActorId& id,
       }
       // Not retired yet (eviction mid-publication) — wait and retry.
     }
+    // SNAPPER-ANALYZE-ALLOW(nondet-clock): divergence-watchdog check only.
     if (std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/trace_hooks.h"
@@ -337,6 +338,7 @@ class ActorRuntime {
 
   static constexpr size_t kShards = 64;
   struct Shard {
+    Shard() { RegisterLockName(&mu, "ActorRuntime::Shard::mu"); }
     Mutex mu;
     std::unordered_map<ActorId, std::shared_ptr<ActorBase>, ActorIdHash> map
         GUARDED_BY(mu);

@@ -1,0 +1,71 @@
+// Lock-rank policy for the snapper tree (DESIGN.md §4h).
+//
+// Every Mutex belongs to a rank band; a thread may acquire a lock only at a
+// rank *no higher than* the lowest rank it already holds. Acquiring upward
+// (inner -> outer) is exactly how the PR-8 FaultInjectionEnv ABBA deadlock
+// formed, so the debug-build lock tracker (lock_tracker.h) treats a
+// registered upward acquisition as an ordering violation even before any
+// actual cycle closes. Equal-rank acquisitions are allowed — peer locks
+// (e.g. two FileRec instances) are ordered by address/ID at the call site
+// and the tracker's per-address cycle detection covers mistakes there.
+//
+// Bands (outer/high first — acquire left-to-right). The ranked set today
+// is the storage-env stack, whose four layers are where the PR-8 deadlock
+// lived. The fault wrapper's invariant (fault_env.cc): a FileRec's mu may
+// be held across fault verdicts and calls into the wrapped env, but mu_
+// must NEVER be held when acquiring a FileRec's mu — the pre-fix
+// NewWritableFile/DeleteFile/Crash did exactly that, closing the ABBA:
+//   kHandle (30)    FaultInjectionEnv FileRec::mu (per-file handle state,
+//                   held across verdicts and wrapped-env IO: outermost)
+//   kEnv (20)       FaultInjectionEnv::mu_ (wrapper registry + verdict
+//                   state; brief, leaf-like critical sections)
+//   kComponent (10) MemEnv::mu_ (wrapped env's own registry)
+//   kLeaf (0)       MemEnv FileState::mu (innermost; never held across a
+//                   call that can lock)
+//
+// Registration is optional and additive: unregistered locks get full
+// cycle detection but no rank precheck. Register in the owning object's
+// constructor via RegisterLockRank(&mu_, LockRank::..., "Class::mu_");
+// locks whose layer is context-dependent get RegisterLockName instead
+// (names in reports, cycle detection, no precheck). Both compile to
+// nothing unless SNAPPER_LOCK_TRACKER is on.
+#pragma once
+
+#include "common/lock_tracker.h"
+
+namespace snapper {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kComponent = 10,
+  kEnv = 20,
+  kHandle = 30,
+};
+
+// `mu` is passed as const void* so headers can register from constructors
+// without pulling in mutex.h; the address is the identity.
+inline void RegisterLockRank(const void* mu, LockRank rank,
+                             const char* name) {
+#if SNAPPER_LOCK_TRACKER
+  lock_tracker::Global().Register(mu, static_cast<int>(rank), name);
+#else
+  (void)mu;
+  (void)rank;
+  (void)name;
+#endif
+}
+
+// Name-only registration: readable cycle reports, full cycle detection, no
+// rank precheck. Use this where the lock's layer is context-dependent
+// (e.g. CheckpointManager::mu_ legitimately does env IO while held, so it
+// sits *above* the env stack on one path and beside it on others).
+inline void RegisterLockName(const void* mu, const char* name) {
+#if SNAPPER_LOCK_TRACKER
+  lock_tracker::Global().Register(mu, /*rank=*/-1, name);
+#else
+  (void)mu;
+  (void)name;
+#endif
+}
+
+}  // namespace snapper

@@ -1,0 +1,261 @@
+#include "common/lock_tracker.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#if defined(__GLIBC__) || defined(__APPLE__)
+#include <execinfo.h>
+#define SNAPPER_HAVE_BACKTRACE 1
+#endif
+
+namespace snapper {
+namespace lock_tracker {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int n = 0;
+
+  void Capture() {
+#if SNAPPER_HAVE_BACKTRACE
+    n = backtrace(frames, kMaxFrames);
+#else
+    n = 0;
+#endif
+  }
+
+  void AppendTo(std::ostringstream& os) const {
+#if SNAPPER_HAVE_BACKTRACE
+    if (n == 0) {
+      os << "    <no backtrace captured>\n";
+      return;
+    }
+    char** syms = backtrace_symbols(frames, n);
+    for (int i = 0; i < n; i++) {
+      os << "    " << (syms != nullptr ? syms[i] : "?") << "\n";
+    }
+    free(syms);
+#else
+    os << "    <backtrace unavailable on this platform>\n";
+#endif
+  }
+};
+
+struct Edge {
+  Stack stack;        // backtrace of the acquisition that created the edge
+  uint64_t tid = 0;   // thread that created it
+};
+
+struct Node {
+  std::string name;   // from lock_rank.h registration, else hex address
+  int rank = -1;      // -1 = unranked
+  std::map<const void*, Edge> out;
+};
+
+std::string NameOf(const Node* node, const void* mu) {
+  if (node != nullptr && !node->name.empty()) return node->name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", mu);
+  return buf;
+}
+
+}  // namespace
+
+class LockGraphImpl {
+ public:
+  // A plain std::mutex (not snapper::Mutex) so the tracker never recurses
+  // into itself.
+  mutable std::mutex mu;
+  std::map<const void*, Node> nodes;
+  std::map<uint64_t, std::vector<const void*>> held;
+
+  Node* Find(const void* p) {
+    auto it = nodes.find(p);
+    return it == nodes.end() ? nullptr : &it->second;
+  }
+
+  // DFS: is `to` reachable from `from` over recorded edges? Fills `path`
+  // with the node sequence from -> ... -> to when found.
+  bool Reaches(const void* from, const void* to,
+               std::vector<const void*>* path) {
+    std::vector<const void*> stack{from};
+    std::map<const void*, const void*> parent{{from, nullptr}};
+    while (!stack.empty()) {
+      const void* cur = stack.back();
+      stack.pop_back();
+      if (cur == to) {
+        for (const void* p = to; p != nullptr; p = parent[p]) {
+          path->insert(path->begin(), p);
+        }
+        return true;
+      }
+      Node* node = Find(cur);
+      if (node == nullptr) continue;
+      for (const auto& [next, edge] : node->out) {
+        if (parent.emplace(next, cur).second) stack.push_back(next);
+      }
+    }
+    return false;
+  }
+};
+
+LockGraph::LockGraph() : impl_(new LockGraphImpl) {}
+LockGraph::~LockGraph() { delete impl_; }
+
+void LockGraph::Register(const void* mu, int rank, const char* name) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  Node& node = impl_->nodes[mu];
+  node.rank = rank;
+  if (name != nullptr) node.name = name;
+}
+
+std::string LockGraph::OnLock(uint64_t tid, const void* mu) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  std::vector<const void*>& stack = impl_->held[tid];
+  std::ostringstream report;
+
+  Node* target = impl_->Find(mu);
+  const int new_rank = target != nullptr ? target->rank : -1;
+
+  for (const void* h : stack) {
+    if (h == mu) {
+      report << "lock-order violation: self-deadlock\n  thread " << tid
+             << " re-acquiring non-recursive lock "
+             << NameOf(impl_->Find(mu), mu) << " it already holds\n";
+      Stack now;
+      now.Capture();
+      report << "  acquisition stack:\n";
+      now.AppendTo(report);
+      stack.push_back(mu);
+      return report.str();
+    }
+  }
+
+  // Rank precheck: acquiring strictly above the lowest held rank is an
+  // inner->outer acquisition, forbidden by policy (lock_rank.h) even
+  // before an actual cycle closes.
+  if (new_rank >= 0) {
+    for (const void* h : stack) {
+      Node* hn = impl_->Find(h);
+      if (hn == nullptr || hn->rank < 0 || new_rank <= hn->rank) continue;
+      report << "lock-order violation: rank inversion\n  thread " << tid
+             << " acquiring " << NameOf(target, mu) << " (rank " << new_rank
+             << ") while holding " << NameOf(hn, h) << " (rank " << hn->rank
+             << "); policy: acquire outer (higher-rank) locks first\n";
+      Stack now;
+      now.Capture();
+      report << "  acquisition stack:\n";
+      now.AppendTo(report);
+      break;
+    }
+  }
+
+  for (const void* h : stack) {
+    Node& hn = impl_->nodes[h];  // may default-construct an unnamed node
+    if (hn.out.count(mu) != 0) continue;  // known edge: already checked
+    // New edge h -> mu. A path mu ->* h means some earlier acquisition
+    // established the opposite order: cycle.
+    std::vector<const void*> path;
+    if (impl_->Reaches(mu, h, &path)) {
+      report << "lock-order violation: cycle\n  thread " << tid
+             << " acquiring " << NameOf(impl_->Find(mu), mu)
+             << " while holding " << NameOf(impl_->Find(h), h)
+             << ", but the opposite order is already on record:\n";
+      for (size_t i = 0; i + 1 < path.size(); i++) {
+        Node* pn = impl_->Find(path[i]);
+        const Edge& e = pn->out.at(path[i + 1]);
+        report << "    " << NameOf(pn, path[i]) << " -> "
+               << NameOf(impl_->Find(path[i + 1]), path[i + 1])
+               << " (recorded by thread " << e.tid << "):\n";
+        e.stack.AppendTo(report);
+      }
+      Stack now;
+      now.Capture();
+      report << "  this (cycle-closing) acquisition:\n";
+      now.AppendTo(report);
+    }
+    Edge e;
+    e.tid = tid;
+    e.stack.Capture();
+    hn.out.emplace(mu, e);
+  }
+
+  stack.push_back(mu);
+  return report.str();
+}
+
+void LockGraph::OnTryLock(uint64_t tid, const void* mu) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->held[tid].push_back(mu);
+}
+
+void LockGraph::OnUnlock(uint64_t tid, const void* mu) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  auto it = impl_->held.find(tid);
+  if (it == impl_->held.end()) return;
+  std::vector<const void*>& stack = it->second;
+  for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+    if (*rit == mu) {
+      stack.erase(std::next(rit).base());
+      break;
+    }
+  }
+  if (stack.empty()) impl_->held.erase(it);
+}
+
+void LockGraph::OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->nodes.erase(mu);
+  for (auto& [addr, node] : impl_->nodes) node.out.erase(mu);
+}
+
+size_t LockGraph::EdgeCount() const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  size_t n = 0;
+  for (const auto& [addr, node] : impl_->nodes) n += node.out.size();
+  return n;
+}
+
+LockGraph& Global() {
+  // Leaked intentionally: mutexes in static-storage objects may be
+  // destroyed (and call NoteDestroy) after main returns.
+  static LockGraph* g = new LockGraph;
+  return *g;
+}
+
+void FailCycle(const std::string& report) {
+  std::fprintf(stderr, "[lock_tracker] %s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+uint64_t ThisThread() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1);
+  return id;
+}
+
+#if SNAPPER_LOCK_TRACKER
+void NoteLock(const void* mu) {
+  std::string report = Global().OnLock(ThisThread(), mu);
+  if (!report.empty()) FailCycle(report);
+}
+
+void NoteTryLock(const void* mu) { Global().OnTryLock(ThisThread(), mu); }
+
+void NoteUnlock(const void* mu) { Global().OnUnlock(ThisThread(), mu); }
+
+void NoteDestroy(const void* mu) { Global().OnDestroy(mu); }
+#endif
+
+}  // namespace lock_tracker
+}  // namespace snapper

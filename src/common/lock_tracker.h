@@ -1,0 +1,108 @@
+// Debug-build runtime lock-order tracker (the dynamic counterpart of
+// scripts/snapper_analyze.py's static lock-order analysis).
+//
+// Every Mutex::Lock funnels through NoteLock(this) when SNAPPER_LOCK_TRACKER
+// is on (Debug default; see CMakeLists). The tracker keeps
+//   * a per-thread stack of held lock addresses, and
+//   * a global directed edge set over lock addresses: edge A -> B recorded
+//     the first time some thread acquires B while holding A, together with
+//     the acquisition backtrace,
+// and checks each new edge for a cycle, absl-DeadlockCheck style. A cycle
+// means two call paths disagree about acquisition order — a latent deadlock
+// even if this particular interleaving got through — and fails fast with
+// both acquisition stacks (the stored one that created the opposing edge,
+// and the live one closing the cycle). Registered ranks (lock_rank.h) are
+// prechecked before edges: acquiring a strictly higher rank than the lowest
+// held rank is a violation even before any cycle exists.
+//
+// The engine (LockGraph) is compiled unconditionally and thread-agnostic —
+// callers pass an explicit thread token — so unit tests exercise cycle and
+// rank detection in any build type. Only the Mutex hooks (NoteLock etc.)
+// and the process-global instance are gated: with the macro off they are
+// constexpr-empty inlines, Mutex keeps its exact std::mutex layout (all
+// tracker state is external, keyed by address), and Release builds carry
+// zero overhead.
+//
+// TryLock never blocks, so a successful TryLock pushes the lock on the held
+// stack but records no ordering edges (it cannot participate in a deadlock
+// it would lose). Mutex destruction erases the node and its edges so
+// address reuse (per-file FileRec mutexes) cannot fabricate cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snapper {
+namespace lock_tracker {
+
+#if SNAPPER_LOCK_TRACKER
+inline constexpr bool kArmed = true;
+#else
+inline constexpr bool kArmed = false;
+#endif
+
+class LockGraphImpl;
+
+/// Address-keyed lock-order graph. Thread-safe; all methods take an
+/// explicit caller token so tests can simulate interleavings
+/// deterministically from one thread.
+class LockGraph {
+ public:
+  LockGraph();
+  ~LockGraph();
+  LockGraph(const LockGraph&) = delete;
+  LockGraph& operator=(const LockGraph&) = delete;
+
+  /// Optional metadata from lock_rank.h. Rank < 0 means "unranked".
+  void Register(const void* mu, int rank, const char* name);
+
+  /// Records `tid` blocking-acquiring `mu`: rank precheck, edge insertion
+  /// (held -> mu) with cycle check, push. Returns an empty string when the
+  /// acquisition is clean, else a multi-line report (cycle path, ranks,
+  /// both acquisition stacks). The graph state is updated either way so a
+  /// non-aborting caller can continue.
+  std::string OnLock(uint64_t tid, const void* mu);
+
+  /// Successful try-acquisition: push only, no edges, no checks.
+  void OnTryLock(uint64_t tid, const void* mu);
+
+  /// Removes the most recent hold of `mu` by `tid` (out-of-order unlock is
+  /// legal for MutexLock::Unlock).
+  void OnUnlock(uint64_t tid, const void* mu);
+
+  /// Mutex destroyed: drop the node, its metadata, and every edge touching
+  /// it, so a recycled address starts clean.
+  void OnDestroy(const void* mu);
+
+  /// Number of distinct recorded edges (test observability).
+  size_t EdgeCount() const;
+
+ private:
+  LockGraphImpl* impl_;
+};
+
+/// Process-global graph used by the Mutex hooks.
+LockGraph& Global();
+
+/// Reports `report` on stderr and aborts. Split out so death tests can
+/// match the message prefix.
+[[noreturn]] void FailCycle(const std::string& report);
+
+/// Current thread's stable token for the global graph.
+uint64_t ThisThread();
+
+// ---- Mutex hooks (compile out entirely when the tracker is off) ----------
+#if SNAPPER_LOCK_TRACKER
+void NoteLock(const void* mu);
+void NoteTryLock(const void* mu);
+void NoteUnlock(const void* mu);
+void NoteDestroy(const void* mu);
+#else
+inline void NoteLock(const void*) {}
+inline void NoteTryLock(const void*) {}
+inline void NoteUnlock(const void*) {}
+inline void NoteDestroy(const void*) {}
+#endif
+
+}  // namespace lock_tracker
+}  // namespace snapper

@@ -27,25 +27,49 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_tracker.h"
 #include "common/thread_annotations.h"
 
 namespace snapper {
 
 /// std::mutex with capability annotations. Non-recursive, non-shared.
+///
+/// When SNAPPER_LOCK_TRACKER is on (Debug default) every acquisition also
+/// feeds the runtime lock-order tracker (lock_tracker.h): a cycle in the
+/// global acquisition-order graph — i.e. a latent ABBA deadlock — aborts
+/// with both acquisition stacks. All tracker state is external (keyed by
+/// this object's address), so the layout is identical either way and
+/// Release builds compile the hooks out entirely.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { lock_tracker::NoteDestroy(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    // Before blocking: if this acquisition deadlocks, the report must have
+    // already fired.
+    lock_tracker::NoteLock(this);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lock_tracker::NoteUnlock(this);
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) lock_tracker::NoteTryLock(this);
+    return ok;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
 };
+
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "tracker state must stay external to the Mutex layout");
 
 /// RAII lock, acquired on construction and released on destruction.
 /// Supports temporary release (Unlock/Lock) for the condvar producer idiom

@@ -1,5 +1,7 @@
 #include "trace/trace_session.h"
 
+#include "common/lock_rank.h"
+
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -15,7 +17,9 @@ thread_local uint64_t tls_turn_index = 0;
 }  // namespace
 
 TraceSession::TraceSession(std::string path, bool replay)
-    : path_(std::move(path)), replay_(replay) {}
+    : path_(std::move(path)), replay_(replay) {
+  RegisterLockName(&mu_, "TraceSession::mu_");
+}
 
 TraceSession::~TraceSession() {
   Detach();

@@ -1,5 +1,7 @@
 #include "wal/checkpoint.h"
 
+#include "common/lock_rank.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -53,7 +55,11 @@ bool ParseWalFileName(std::string_view name, size_t* logger, uint64_t* seq) {
 }
 
 CheckpointManager::CheckpointManager(Options options, Env* env)
-    : options_(options), env_(env) {}
+    : options_(options), env_(env) {
+  // Name-only: this lock is legitimately held across env IO on the
+  // truncation path, so it has no fixed layer in the env rank stack.
+  RegisterLockName(&mu_, "CheckpointManager::mu_");
+}
 
 void CheckpointManager::SetRequestCheckpointFn(RequestCheckpointFn fn) {
   MutexLock lock(&mu_);

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/status.h"
 
@@ -65,6 +66,8 @@ class PosixEnv : public Env {
 /// power loss for recovery tests (torn writes can be injected as well).
 class MemEnv : public Env {
  public:
+  MemEnv() { RegisterLockRank(&mu_, LockRank::kComponent, "MemEnv::mu_"); }
+
   Status NewWritableFile(const std::string& name,
                          std::unique_ptr<WritableFile>* file) override;
   Status ReadFile(const std::string& name, std::string* out) override;
@@ -94,6 +97,9 @@ class MemEnv : public Env {
   /// detail in env.cc) can share it. Guarded by its own mutex because
   /// CrashAll() may race with concurrent appends from logger strands.
   struct FileState {
+    FileState() {
+      RegisterLockRank(&mu, LockRank::kLeaf, "MemEnv::FileState::mu");
+    }
     Mutex mu;
     std::string synced GUARDED_BY(mu);
     std::string unsynced GUARDED_BY(mu);

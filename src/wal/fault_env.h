@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "wal/env.h"
@@ -43,7 +44,9 @@ class FaultInjectionEnv : public Env {
   enum class Op : int { kNewFile = 0, kAppend = 1, kSync = 2 };
   static constexpr size_t kNumOps = 3;
 
-  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+  explicit FaultInjectionEnv(Env* base) : base_(base) {
+    RegisterLockRank(&mu_, LockRank::kEnv, "FaultInjectionEnv::mu_");
+  }
 
   // Env interface. Reads and listings observe only durable (synced) content,
   // mirroring what recovery would see after a crash.
@@ -82,6 +85,15 @@ class FaultInjectionEnv : public Env {
   /// Internal per-file state; public so the file handle (an implementation
   /// detail in fault_env.cc) can share it, like MemEnv::FileState.
   struct FileRec {
+    FileRec() {
+      // Outermost band: a handle's mu may be held across fault verdicts and
+      // wrapped-env IO, so acquiring it while holding mu_ is an upward
+      // (inner -> outer) acquisition — the shape of the PR-8 deadlock. The
+      // debug lock tracker (lock_rank.h) flags that even before a cycle
+      // closes.
+      RegisterLockRank(&mu, LockRank::kHandle,
+                       "FaultInjectionEnv::FileRec::mu");
+    }
     Mutex mu;
     std::string name;  ///< immutable after creation
     /// mirror of the base file's durable content

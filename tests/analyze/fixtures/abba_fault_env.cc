@@ -1,0 +1,56 @@
+// snapper_analyze fixture: the PR-8 FaultInjectionEnv ABBA shape.
+//
+// Crash-style maintenance nests Env::mu_ -> FileRec::mu directly, while the
+// write path acquires FileRec::mu and then calls back into the env (fault
+// check), which acquires Env::mu_ — a two-class lock-order cycle where one
+// direction is only visible through the call graph. Markers sit on the edge
+// witness lines (the inner acquisition, and the call that closes the cycle).
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+
+namespace fixture_abba {
+
+struct AbbaFileRec {
+  Mutex mu;
+  std::string synced GUARDED_BY(mu);
+  std::string unsynced GUARDED_BY(mu);
+  bool lost GUARDED_BY(mu) = false;
+};
+
+class AbbaEnv {
+ public:
+  int CheckTickAbba();
+  void CrashAbba();
+
+ private:
+  mutable Mutex mu_;
+  int ticks_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::shared_ptr<AbbaFileRec>> files_ GUARDED_BY(mu_);
+};
+
+int AbbaEnv::CheckTickAbba() {
+  MutexLock lock(&mu_);
+  return ++ticks_;
+}
+
+void AbbaEnv::CrashAbba() {
+  MutexLock lock(&mu_);
+  for (auto& [name, rec] : files_) {
+    MutexLock flock(&rec->mu);  // EXPECT-ANALYZE: lock-order-cycle
+    rec->unsynced.clear();
+    rec->lost = true;
+  }
+}
+
+// The write path: per-file lock held while consulting the env's fault state.
+void AbbaWriterAppend(std::shared_ptr<AbbaFileRec> rec, AbbaEnv* env) {
+  MutexLock lock(&rec->mu);
+  if (rec->lost) return;
+  env->CheckTickAbba();  // EXPECT-ANALYZE: lock-order-cycle
+  rec->unsynced.append("x");
+}
+
+}  // namespace fixture_abba

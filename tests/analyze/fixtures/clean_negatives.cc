@@ -1,0 +1,82 @@
+// snapper_analyze fixture: clean negatives — shapes that look like findings
+// but must not be reported, plus the two suppression forms.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture_clean {
+
+// --- consistent two-lock ordering: an edge, but no cycle -----------------
+struct StageOne {
+  Mutex one_mu_;
+  int a_ GUARDED_BY(one_mu_) = 0;
+};
+
+struct StageTwo {
+  Mutex two_mu_;
+  int b_ GUARDED_BY(two_mu_) = 0;
+};
+
+void ConsistentNest(StageOne* s1, StageTwo* s2) {
+  MutexLock l1(&s1->one_mu_);
+  MutexLock l2(&s2->two_mu_);
+  s1->a_ += s2->b_;
+}
+
+void ConsistentNestAgain(StageOne* s1, StageTwo* s2) {
+  MutexLock l1(&s1->one_mu_);
+  MutexLock l2(&s2->two_mu_);
+  s2->b_ += s1->a_;
+}
+
+// --- two instances of one class: instance-level ordering is the runtime
+// tracker's job, not a static class-level self-cycle ----------------------
+struct AccountCell {
+  Mutex cell_mu_;
+  int64_t balance GUARDED_BY(cell_mu_) = 0;
+};
+
+void TransferOrdered(AccountCell* lo, AccountCell* hi, int64_t amt) {
+  MutexLock l1(&lo->cell_mu_);
+  MutexLock l2(&hi->cell_mu_);
+  lo->balance -= amt;
+  hi->balance += amt;
+}
+
+// --- nondeterminism outside the PACT closure is not flagged --------------
+// (No PACT entry calls this; the identical expression inside StampTurn
+// below *is* flagged.)
+int64_t WallClockMetricsTick() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+// --- inline suppression: reason given, finding suppressed ----------------
+struct ReplaySchedule {
+  std::unordered_map<uint64_t, int> lag_;
+
+  // snapper-analyze: pact-entry
+  int SumLagTurn() {
+    int total = 0;
+    // SNAPPER-ANALYZE-ALLOW(nondet-unordered-iter): sum is order-invariant;
+    // nothing observes the traversal sequence.
+    for (auto& [k, v] : lag_) {
+      total += v;
+    }
+    return total;
+  }
+
+  // A bare allow without a reason is itself an error: the contract is that
+  // every suppression explains itself.
+  // snapper-analyze: pact-entry
+  int64_t StampTurn() {
+    auto t = std::chrono::steady_clock::now();  // SNAPPER-ANALYZE-ALLOW(nondet-clock) EXPECT-ANALYZE: allow-syntax
+    return t.time_since_epoch().count();
+  }
+};
+
+}  // namespace fixture_clean

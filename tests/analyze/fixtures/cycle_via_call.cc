@@ -1,0 +1,47 @@
+// snapper_analyze fixture: lock-order cycle closed only through the
+// call-graph summary, with one direction two calls deep. No single function
+// nests the two locks syntactically — the cycle exists only because callees'
+// acquisitions are attributed to their callers while locks are held.
+#include "common/mutex.h"
+
+namespace fixture_call_cycle {
+
+class OrderB;
+
+class OrderA {
+ public:
+  void LockThenDescend();
+  void JustLockA();
+
+  Mutex amu_;
+  OrderB* peer_b_ = nullptr;
+};
+
+class OrderB {
+ public:
+  void LockThenCallBack();
+  void JustLockB();
+
+  Mutex bmu_;
+  OrderA* peer_a_ = nullptr;
+};
+
+// Hop in the middle: LockThenDescend -> MiddleHop -> JustLockB, so the
+// amu_ -> bmu_ edge is only visible transitively.
+void MiddleHop(OrderB* b) { b->JustLockB(); }
+
+void OrderA::LockThenDescend() {
+  MutexLock lock(&amu_);
+  MiddleHop(peer_b_);  // EXPECT-ANALYZE: lock-order-cycle
+}
+
+void OrderA::JustLockA() { MutexLock lock(&amu_); }
+
+void OrderB::LockThenCallBack() {
+  MutexLock lock(&bmu_);
+  peer_a_->JustLockA();  // EXPECT-ANALYZE: lock-order-cycle
+}
+
+void OrderB::JustLockB() { MutexLock lock(&bmu_); }
+
+}  // namespace fixture_call_cycle

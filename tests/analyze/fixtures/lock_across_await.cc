@@ -1,0 +1,56 @@
+// snapper_analyze fixture: lock-across-await and self-deadlock.
+//
+// lock-across-await: a Mutex held at a co_await is an unordered edge against
+// everything the resuming executor acquires — it can close a lock-order
+// cycle no syntactic nesting shows (and coro_lint separately rejects the
+// wrong-thread unlock). Marker sits on the co_await line.
+//
+// self-deadlock: snapper::Mutex is non-recursive; re-acquiring the same
+// expression with the first hold still live blocks forever. Marker sits on
+// the second acquisition.
+#include "async/task.h"
+#include "common/mutex.h"
+
+namespace fixture_await {
+
+struct AwaitGuard {
+  Mutex gmu_;
+  int value_ GUARDED_BY(gmu_) = 0;
+
+  Task<void> TickAwait();
+
+  Task<void> BadHoldAcrossAwait() {
+    MutexLock lock(&gmu_);
+    value_++;
+    co_await TickAwait();  // EXPECT-ANALYZE: lock-across-await
+    value_++;
+  }
+
+  Task<void> GoodReleaseBeforeAwait() {
+    {
+      MutexLock lock(&gmu_);
+      value_++;
+    }
+    co_await TickAwait();
+    MutexLock lock(&gmu_);
+    value_++;
+  }
+
+  void BadDoubleLock() {
+    MutexLock outer(&gmu_);
+    MutexLock inner(&gmu_);  // EXPECT-ANALYZE: self-deadlock
+    value_ += 2;
+  }
+
+  // The timer-loop idiom: explicit Unlock before re-Lock is not a
+  // self-deadlock.
+  void GoodUnlockRelock() {
+    MutexLock lock(&gmu_);
+    value_++;
+    lock.Unlock();
+    lock.Lock();
+    value_++;
+  }
+};
+
+}  // namespace fixture_await

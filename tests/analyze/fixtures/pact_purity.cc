@@ -1,0 +1,47 @@
+// snapper_analyze fixture: determinism-purity blocklist inside the
+// PACT-reachable closure. The entry point is declared with the
+// `snapper-analyze: pact-entry` marker; helpers one and two calls deep show
+// the reachability chain in the finding. Markers sit on the blocklisted
+// call's line.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <random>
+#include <thread>
+
+namespace fixture_purity {
+
+uint64_t PurityHashKey(const void* p) {
+  return reinterpret_cast<uintptr_t>(p);  // EXPECT-ANALYZE: nondet-pointer
+}
+
+int PurityDeepHelper() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT-ANALYZE: nondet-clock
+  (void)t;
+  std::random_device rd;  // EXPECT-ANALYZE: nondet-random
+  return static_cast<int>(rd() % 7);
+}
+
+int PurityShallowHelper(const void* p) {
+  auto tid = std::this_thread::get_id();  // EXPECT-ANALYZE: nondet-thread-id
+  (void)tid;
+  return PurityDeepHelper() + static_cast<int>(PurityHashKey(p) & 1);
+}
+
+// snapper-analyze: pact-entry
+int PurityPactTurn(const void* p) {
+  int salt = rand();  // EXPECT-ANALYZE: nondet-random
+  return PurityShallowHelper(p) + salt;
+}
+
+// NOT reachable from any entry: the same sins go unflagged, proving the
+// analysis is scoped to the PACT closure rather than the whole program.
+int PurityUnreachableHelper() {
+  std::random_device rd;
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+  return static_cast<int>(rd());
+}
+
+}  // namespace fixture_purity

@@ -1,0 +1,44 @@
+// snapper_analyze fixture: unordered-container iteration on a PACT path.
+// Iteration order over an unordered_map is a function of hashing and rehash
+// history — it differs between the recorded run and the replay the moment
+// any pointer or seed differs, so it must not drive deterministic turns.
+// find()/count() lookups are fine; only traversal is flagged.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture_unordered {
+
+struct PendingRow {
+  uint64_t bid = 0;
+  int delta = 0;
+};
+
+class UnorderedSchedule {
+ public:
+  int DrainPendingTurn();
+  int PeekOne(uint64_t key) const;
+
+ private:
+  std::unordered_map<uint64_t, PendingRow> rows_;
+};
+
+// snapper-analyze: pact-entry
+int UnorderedSchedule::DrainPendingTurn() {
+  int total = 0;
+  for (auto& [key, row] : rows_) {  // EXPECT-ANALYZE: nondet-unordered-iter
+    total += row.delta;
+  }
+  return total;
+}
+
+// Point lookups do not observe traversal order: must stay clean.
+// snapper-analyze: pact-entry
+int UnorderedSchedule::PeekOne(uint64_t key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? 0 : it->second.delta;
+}
+
+}  // namespace fixture_unordered

@@ -1,0 +1,248 @@
+// Unit tests for the runtime lock-order tracker (common/lock_tracker.h),
+// the dynamic counterpart of scripts/snapper_analyze.py.
+//
+// The LockGraph engine is compiled in every build type and takes explicit
+// thread tokens, so cycle, rank, and lifecycle detection are exercised
+// deterministically from a single thread regardless of configuration. The
+// Mutex integration (NoteLock hooks, abort-on-violation) exists only when
+// SNAPPER_LOCK_TRACKER is on — those tests GTEST_SKIP when it is compiled
+// out, and the compile-out contract itself is asserted instead.
+#include "common/lock_tracker.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "wal/env.h"
+#include "wal/fault_env.h"
+
+namespace snapper {
+namespace {
+
+using lock_tracker::LockGraph;
+
+TEST(LockGraphTest, ConsistentNestingIsClean) {
+  LockGraph g;
+  int a = 0, b = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(g.OnLock(1, &a), "");
+    EXPECT_EQ(g.OnLock(1, &b), "");
+    g.OnUnlock(1, &b);
+    g.OnUnlock(1, &a);
+  }
+  EXPECT_EQ(g.EdgeCount(), 1u);  // a -> b, deduplicated across iterations
+}
+
+TEST(LockGraphTest, AbbaCycleReportsBothAcquisitions) {
+  LockGraph g;
+  int a = 0, b = 0;
+  g.Register(&a, -1, "test::A");
+  g.Register(&b, -1, "test::B");
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  EXPECT_EQ(g.OnLock(1, &b), "");  // records A -> B
+  g.OnUnlock(1, &b);
+  g.OnUnlock(1, &a);
+  EXPECT_EQ(g.OnLock(2, &b), "");
+  const std::string report = g.OnLock(2, &a);  // B -> A closes the cycle
+  EXPECT_NE(report.find("lock-order violation: cycle"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("test::A"), std::string::npos) << report;
+  EXPECT_NE(report.find("test::B"), std::string::npos) << report;
+  // The report must carry the stored opposing edge, not just the live one.
+  EXPECT_NE(report.find("recorded by thread 1"), std::string::npos) << report;
+}
+
+TEST(LockGraphTest, TransitiveCycleAcrossThreeLocks) {
+  LockGraph g;
+  int a = 0, b = 0, c = 0;
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  EXPECT_EQ(g.OnLock(1, &b), "");  // A -> B
+  g.OnUnlock(1, &b);
+  g.OnUnlock(1, &a);
+  EXPECT_EQ(g.OnLock(2, &b), "");
+  EXPECT_EQ(g.OnLock(2, &c), "");  // B -> C
+  g.OnUnlock(2, &c);
+  g.OnUnlock(2, &b);
+  EXPECT_EQ(g.OnLock(3, &c), "");
+  const std::string report = g.OnLock(3, &a);  // C -> A: cycle via A->B->C
+  EXPECT_NE(report.find("lock-order violation: cycle"), std::string::npos)
+      << report;
+}
+
+TEST(LockGraphTest, SelfDeadlockOnReacquire) {
+  LockGraph g;
+  int a = 0;
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  const std::string report = g.OnLock(1, &a);
+  EXPECT_NE(report.find("self-deadlock"), std::string::npos) << report;
+}
+
+TEST(LockGraphTest, RankInversionFlaggedBeforeAnyCycle) {
+  LockGraph g;
+  int outer = 0, inner = 0;
+  g.Register(&outer, 30, "test::outer");
+  g.Register(&inner, 20, "test::inner");
+  // Downward (outer -> inner) is the sanctioned order.
+  EXPECT_EQ(g.OnLock(1, &outer), "");
+  EXPECT_EQ(g.OnLock(1, &inner), "");
+  g.OnUnlock(1, &inner);
+  g.OnUnlock(1, &outer);
+  // Upward on a *fresh* graph path is flagged even though no opposing edge
+  // exists yet — this is what catches a latent ABBA before the second order
+  // ever runs.
+  LockGraph g2;
+  g2.Register(&outer, 30, "test::outer");
+  g2.Register(&inner, 20, "test::inner");
+  EXPECT_EQ(g2.OnLock(1, &inner), "");
+  const std::string report = g2.OnLock(1, &outer);
+  EXPECT_NE(report.find("rank inversion"), std::string::npos) << report;
+  EXPECT_NE(report.find("test::outer"), std::string::npos) << report;
+}
+
+TEST(LockGraphTest, EqualRanksNestFreely) {
+  LockGraph g;
+  int a = 0, b = 0;
+  g.Register(&a, 10, "peer::A");
+  g.Register(&b, 10, "peer::B");
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  EXPECT_EQ(g.OnLock(1, &b), "");  // same band: address-ordered at call site
+  g.OnUnlock(1, &b);
+  g.OnUnlock(1, &a);
+}
+
+TEST(LockGraphTest, TryLockRecordsNoOrderingEdges) {
+  LockGraph g;
+  int a = 0, b = 0;
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  g.OnTryLock(1, &b);  // cannot block, so no a -> b edge
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  g.OnUnlock(1, &b);
+  g.OnUnlock(1, &a);
+  // The opposite blocking order is therefore not a cycle.
+  EXPECT_EQ(g.OnLock(2, &b), "");
+  EXPECT_EQ(g.OnLock(2, &a), "");
+  g.OnUnlock(2, &a);
+  g.OnUnlock(2, &b);
+}
+
+TEST(LockGraphTest, OutOfOrderUnlockKeepsStackCoherent) {
+  // MutexLock::Unlock allows releasing an outer lock first (timer re-arm
+  // idiom); the held stack must drop exactly that entry.
+  LockGraph g;
+  int a = 0, b = 0, c = 0;
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  EXPECT_EQ(g.OnLock(1, &b), "");
+  g.OnUnlock(1, &a);
+  EXPECT_EQ(g.OnLock(1, &c), "");  // b -> c (a no longer held)
+  g.OnUnlock(1, &c);
+  g.OnUnlock(1, &b);
+  // Had the stack kept the released `a`, the c-acquisition above would have
+  // recorded a direct a -> c edge as well.
+  EXPECT_EQ(g.EdgeCount(), 2u);  // a -> b and b -> c only
+  EXPECT_EQ(g.OnLock(1, &a), "");  // fully released: not a self-deadlock
+  g.OnUnlock(1, &a);
+}
+
+TEST(LockGraphTest, DestroyErasesNodeAndEdgesForAddressReuse) {
+  LockGraph g;
+  int a = 0, b = 0;
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  EXPECT_EQ(g.OnLock(1, &b), "");  // a -> b
+  g.OnUnlock(1, &b);
+  g.OnUnlock(1, &a);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  g.OnDestroy(&b);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  // A new lock recycled onto b's address starts with a clean history: the
+  // opposite order must not resurrect the stale edge as a cycle.
+  EXPECT_EQ(g.OnLock(1, &b), "");
+  EXPECT_EQ(g.OnLock(1, &a), "");
+  g.OnUnlock(1, &a);
+  g.OnUnlock(1, &b);
+}
+
+// ---- Mutex integration (armed builds only) --------------------------------
+
+TEST(LockTrackerMutexTest, CompileOutContract) {
+  // All tracker state is external (keyed by address), in every build type.
+  static_assert(sizeof(Mutex) == sizeof(std::mutex),
+                "tracker must not change the Mutex layout");
+#if SNAPPER_LOCK_TRACKER
+  EXPECT_TRUE(lock_tracker::kArmed);
+#else
+  EXPECT_FALSE(lock_tracker::kArmed);
+#endif
+  // Nested Mutex acquisitions feed the global graph exactly when armed.
+  const size_t before = lock_tracker::Global().EdgeCount();
+  Mutex a, b;
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  const size_t after = lock_tracker::Global().EdgeCount();
+  if (lock_tracker::kArmed) {
+    EXPECT_EQ(after, before + 1);
+  } else {
+    EXPECT_EQ(after, before);
+  }
+}
+
+TEST(LockTrackerMutexDeathTest, AbbaCycleAborts) {
+  if (!lock_tracker::kArmed) GTEST_SKIP() << "tracker compiled out";
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        RegisterLockName(&a, "death::A");
+        RegisterLockName(&b, "death::B");
+        a.Lock();
+        b.Lock();
+        b.Unlock();
+        a.Unlock();
+        b.Lock();
+        a.Lock();  // closes the cycle
+      },
+      "lock-order violation: cycle");
+}
+
+TEST(LockTrackerMutexDeathTest, RankInversionAborts) {
+  if (!lock_tracker::kArmed) GTEST_SKIP() << "tracker compiled out";
+  EXPECT_DEATH(
+      {
+        Mutex outer;
+        Mutex inner;
+        RegisterLockRank(&outer, LockRank::kHandle, "death::outer");
+        RegisterLockRank(&inner, LockRank::kEnv, "death::inner");
+        inner.Lock();
+        outer.Lock();  // inner -> outer acquisition
+      },
+      "lock-order violation: rank inversion");
+}
+
+// Regression lock-order coverage for the FaultInjectionEnv ABBA fix: drive
+// the exact paths the fix rewrote (recreate-over-existing, delete, crash)
+// with live file handles. The pre-fix code acquired FileRec::mu while
+// holding mu_ — under the armed tracker that is a kEnv -> kHandle rank
+// inversion, so reverting the fix makes this test abort in Debug builds
+// (and scripts/snapper_analyze.py flag the cycle statically).
+TEST(FaultEnvLockOrderTest, RecreateDeleteCrashKeepEnvLockOutOfFileRec) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("f", &f).ok());
+  ASSERT_TRUE(f->Append("hello").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  // Recreate over an existing name: displaces the old FileRec.
+  std::unique_ptr<WritableFile> f2;
+  ASSERT_TRUE(env.NewWritableFile("f", &f2).ok());
+  ASSERT_TRUE(f2->Append("world").ok());
+  ASSERT_TRUE(env.Crash(0).ok());
+  ASSERT_TRUE(env.DeleteFile("f").ok());
+}
+
+}  // namespace
+}  // namespace snapper
